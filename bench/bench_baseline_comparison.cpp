@@ -1,0 +1,113 @@
+// §1/§5 baseline — locks and manual guards vs the memory organizations.
+//
+// "Current shared memory abstractions based on locks and mutual exclusions
+// are difficult to use, scale, and generally result in a tedious and
+// error-prone design process." The comparison the paper implies but never
+// tabulates: the same 1-producer → N-consumer hand-off implemented with
+//   * manual flag polling over a bare shared BRAM,
+//   * a lock-register controller (acquire/release + ack word),
+//   * the arbitrated organization,
+//   * the event-driven organization,
+// measured for area (generated RTL, technology mapped), hand-off latency,
+// and shared-port traffic (polling burns bus cycles).
+
+#include <cstdio>
+
+#include "baseline/bare.h"
+#include "baseline/lockmem.h"
+#include "baseline/protocols.h"
+#include "bench_util.h"
+#include "fpga/techmap.h"
+#include "support/table.h"
+
+using namespace hicsync;
+
+int main() {
+  const int rounds = 6;
+  std::printf("=== baseline comparison: 1 producer -> N consumers, "
+              "%d rounds ===\n\n", rounds);
+
+  fpga::TechMapper mapper;
+  support::TextTable table({"substrate", "consumers", "LUT", "FF", "slices",
+                            "mean latency", "bus ops/round", "enforced?",
+                            "correct"});
+  bool all_ok = true;
+
+  for (int consumers : {2, 4, 8}) {
+    {
+      baseline::BareConfig cfg;
+      cfg.num_clients = consumers + 1;
+      rtl::Design d;
+      rtl::Module& m = baseline::generate_bare(d, cfg, "bare");
+      auto area = mapper.map(m);
+      auto metrics = baseline::run_polling_handoff(m, consumers, rounds);
+      all_ok &= metrics.ok;
+      char mean[32], ops[32];
+      std::snprintf(mean, sizeof mean, "%.1f", metrics.mean_latency());
+      std::snprintf(ops, sizeof ops, "%.1f",
+                    static_cast<double>(metrics.bus_grants) / rounds);
+      table.add_row({"manual polling (bare)", std::to_string(consumers),
+                     std::to_string(area.luts), std::to_string(area.ffs),
+                     std::to_string(area.slices), mean, ops, "no",
+                     metrics.ok ? "ok" : "FAILED"});
+    }
+    {
+      baseline::LockMemConfig cfg;
+      cfg.num_clients = consumers + 1;
+      cfg.lock_addrs = {4, 6};
+      rtl::Design d;
+      rtl::Module& m = baseline::generate_lockmem(d, cfg, "lockmem");
+      auto area = mapper.map(m);
+      auto metrics = baseline::run_lock_handoff(m, consumers, rounds);
+      all_ok &= metrics.ok;
+      char mean[32], ops[32];
+      std::snprintf(mean, sizeof mean, "%.1f", metrics.mean_latency());
+      std::snprintf(ops, sizeof ops, "%.1f",
+                    static_cast<double>(metrics.bus_grants) / rounds);
+      table.add_row({"locks (lockmem)", std::to_string(consumers),
+                     std::to_string(area.luts), std::to_string(area.ffs),
+                     std::to_string(area.slices), mean, ops, "no",
+                     metrics.ok ? "ok" : "FAILED"});
+    }
+    {
+      rtl::Design d;
+      rtl::Module& m = memorg::generate_arbitrated(
+          d, bench::arb_scenario(consumers), "arb");
+      auto area = mapper.map(m);
+      auto metrics = baseline::run_arbitrated_handoff(m, consumers, rounds);
+      all_ok &= metrics.ok;
+      char mean[32], ops[32];
+      std::snprintf(mean, sizeof mean, "%.1f", metrics.mean_latency());
+      std::snprintf(ops, sizeof ops, "%.1f",
+                    static_cast<double>(metrics.bus_grants) / rounds);
+      table.add_row({"arbitrated (§3.1)", std::to_string(consumers),
+                     std::to_string(area.luts), std::to_string(area.ffs),
+                     std::to_string(area.slices), mean, ops, "yes",
+                     metrics.ok ? "ok" : "FAILED"});
+    }
+    {
+      rtl::Design d;
+      rtl::Module& m = memorg::generate_eventdriven(
+          d, bench::ev_scenario(consumers), "ev");
+      auto area = mapper.map(m);
+      auto metrics = baseline::run_eventdriven_handoff(m, consumers, rounds);
+      all_ok &= metrics.ok;
+      char mean[32], ops[32];
+      std::snprintf(mean, sizeof mean, "%.1f", metrics.mean_latency());
+      std::snprintf(ops, sizeof ops, "%.1f",
+                    static_cast<double>(metrics.bus_grants) / rounds);
+      table.add_row({"event-driven (§3.2)", std::to_string(consumers),
+                     std::to_string(area.luts), std::to_string(area.ffs),
+                     std::to_string(area.slices), mean, ops, "yes",
+                     metrics.ok ? "ok" : "FAILED"});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "reading: the organizations spend LUTs on enforcement the baselines "
+      "leave to\nthe programmer; in exchange the hand-off needs exactly "
+      "1 write + N reads of\nbus traffic, while polling/locks burn extra "
+      "flag reads, lock round-trips and\nack updates - and enforce "
+      "nothing (the 'error-prone' cost of §1).\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Toolchain micro-benchmarks (google-benchmark): throughput of each stage
+// of the compilation flow on the paper's scenarios. Not a paper experiment
+// — engineering data for users of the library.
+
+#include <benchmark/benchmark.h>
+
+#include "core/compiler.h"
+#include "fpga/techmap.h"
+#include "hic/parser.h"
+#include "netapp/scenarios.h"
+#include "rtl/verilog.h"
+
+using namespace hicsync;
+
+static void BM_ParseFigure1(benchmark::State& state) {
+  const std::string src = netapp::figure1_source();
+  for (auto _ : state) {
+    support::DiagnosticEngine diags;
+    hic::Program p = hic::parse_source(src, diags);
+    benchmark::DoNotOptimize(p.threads.size());
+  }
+}
+BENCHMARK(BM_ParseFigure1);
+
+static void BM_FullCompileFanout(benchmark::State& state) {
+  const std::string src =
+      netapp::fanout_source(static_cast<int>(state.range(0)));
+  core::Compiler compiler;
+  for (auto _ : state) {
+    auto r = compiler.compile(src);
+    benchmark::DoNotOptimize(r->ok());
+  }
+}
+BENCHMARK(BM_FullCompileFanout)->Arg(2)->Arg(4)->Arg(8);
+
+static void BM_GenerateArbitrated(benchmark::State& state) {
+  memorg::ArbitratedConfig cfg;
+  cfg.num_consumers = static_cast<int>(state.range(0));
+  memorg::DepEntry e;
+  e.base_address = 4;
+  e.dependency_number = cfg.num_consumers;
+  for (int i = 0; i < cfg.num_consumers; ++i) e.consumer_ports.push_back(i);
+  cfg.deps.push_back(e);
+  for (auto _ : state) {
+    rtl::Design d;
+    rtl::Module& m = memorg::generate_arbitrated(d, cfg, "arb");
+    benchmark::DoNotOptimize(m.nets().size());
+  }
+}
+BENCHMARK(BM_GenerateArbitrated)->Arg(2)->Arg(8);
+
+static void BM_TechMapArbitrated(benchmark::State& state) {
+  memorg::ArbitratedConfig cfg;
+  cfg.num_consumers = static_cast<int>(state.range(0));
+  memorg::DepEntry e;
+  e.base_address = 4;
+  e.dependency_number = cfg.num_consumers;
+  for (int i = 0; i < cfg.num_consumers; ++i) e.consumer_ports.push_back(i);
+  cfg.deps.push_back(e);
+  rtl::Design d;
+  rtl::Module& m = memorg::generate_arbitrated(d, cfg, "arb");
+  fpga::TechMapper mapper;
+  for (auto _ : state) {
+    auto r = mapper.map(m);
+    benchmark::DoNotOptimize(r.luts);
+  }
+}
+BENCHMARK(BM_TechMapArbitrated)->Arg(2)->Arg(8);
+
+static void BM_EmitVerilog(benchmark::State& state) {
+  auto result = core::Compiler().compile(netapp::figure1_source());
+  for (auto _ : state) {
+    std::string v = result->verilog();
+    benchmark::DoNotOptimize(v.size());
+  }
+}
+BENCHMARK(BM_EmitVerilog);
+
+BENCHMARK_MAIN();

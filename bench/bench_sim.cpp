@@ -1,0 +1,59 @@
+// Simulator micro-benchmarks (google-benchmark): cycle throughput of the
+// system simulator (thread FSM interpreters over the generated controller
+// netlists). Engineering data, not a paper experiment.
+
+#include <benchmark/benchmark.h>
+
+#include "core/compiler.h"
+#include "netapp/scenarios.h"
+
+using namespace hicsync;
+
+static void BM_SystemSimCycles(benchmark::State& state) {
+  core::CompileOptions options;
+  options.organization = state.range(1) == 0 ? sim::OrgKind::Arbitrated
+                                             : sim::OrgKind::EventDriven;
+  auto result = core::Compiler(options).compile(
+      netapp::fanout_source(static_cast<int>(state.range(0))));
+  auto simulator = result->make_simulator();
+  for (auto _ : state) {
+    simulator->step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SystemSimCycles)
+    ->Args({2, 0})
+    ->Args({8, 0})
+    ->Args({2, 1})
+    ->Args({8, 1});
+
+static void BM_ModuleSimSettleStep(benchmark::State& state) {
+  memorg::ArbitratedConfig cfg;
+  cfg.num_consumers = static_cast<int>(state.range(0));
+  memorg::DepEntry e;
+  e.base_address = 4;
+  e.dependency_number = cfg.num_consumers;
+  for (int i = 0; i < cfg.num_consumers; ++i) e.consumer_ports.push_back(i);
+  cfg.deps.push_back(e);
+  rtl::Design d;
+  rtl::Module& m = memorg::generate_arbitrated(d, cfg, "arb");
+  rtl::ModuleSim sim(m);
+  sim.reset();
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModuleSimSettleStep)->Arg(2)->Arg(8);
+
+static void BM_EndToEndHandoff(benchmark::State& state) {
+  auto result = core::Compiler().compile(netapp::figure1_source());
+  for (auto _ : state) {
+    auto simulator = result->make_simulator();
+    bool ok = simulator->run_until_passes(1, 1000);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_EndToEndHandoff);
+
+BENCHMARK_MAIN();

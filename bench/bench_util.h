@@ -1,0 +1,72 @@
+// Shared helpers for the benchmark harness: the paper's reference values
+// (where the scraped text preserved them) and scenario construction.
+#pragma once
+
+#include <string>
+
+#include "memorg/arbitrated.h"
+#include "memorg/eventdriven.h"
+
+namespace hicsync::bench {
+
+/// §4 reference values that survive in the paper's prose. The numeric cells
+/// of Tables 1 and 2 were lost in the text scrape (see DESIGN.md); these
+/// are the quantitative anchors we check shape against.
+struct PaperReference {
+  // "The constant flip-flop count is due to the baseline architecture ...
+  // which requires 66 flip-flops."
+  static constexpr int kArbitratedBaselineFf = 66;
+  // "For each case, 125 MHz was the target clock rate."
+  static constexpr double kTargetMhz = 125.0;
+  // "We achieved timing of 125.x MHz, 130 MHz, and 158 MHz for the 8, 4,
+  // and 2 consumer thread cases respectively." (8-consumer value truncated
+  // in the scrape; >= the 125 MHz target per the surrounding text.)
+  static constexpr double kArbFmax2 = 158.0;
+  static constexpr double kArbFmax4 = 130.0;
+  static constexpr double kArbFmax8 = 125.0;  // lower bound
+  // "we achieved timing of 129 MHz, 136 MHz, and 177 MHz for 8, 4, and 2
+  // consumer thread cases" (event-driven).
+  static constexpr double kEvFmax2 = 177.0;
+  static constexpr double kEvFmax4 = 136.0;
+  static constexpr double kEvFmax8 = 129.0;
+  // "a total of 5430 slices, of which around 1000 slices were for the core
+  // forwarding function" and "the area overhead can vary from 5-20%".
+  static constexpr int kAppSlices = 5430;
+  static constexpr int kCoreSlices = 1000;
+  static constexpr double kOverheadLowPct = 5.0;
+  static constexpr double kOverheadHighPct = 20.0;
+};
+
+/// The Table 1/2 scenario: one producer, `consumers` pseudo-ports, one
+/// dependency on one BRAM (data at address 4), 9-bit addresses, 32-bit
+/// data — the "single BRAM memory with different number of threads as
+/// consumers and a single thread as a producer" of §4.
+inline memorg::ArbitratedConfig arb_scenario(int consumers) {
+  memorg::ArbitratedConfig cfg;
+  cfg.num_consumers = consumers;
+  cfg.num_producers = 1;
+  memorg::DepEntry e;
+  e.id = "pkt";
+  e.base_address = 4;
+  e.dependency_number = consumers;
+  e.producer_port = 0;
+  for (int i = 0; i < consumers; ++i) e.consumer_ports.push_back(i);
+  cfg.deps.push_back(std::move(e));
+  return cfg;
+}
+
+inline memorg::EventDrivenConfig ev_scenario(int consumers) {
+  memorg::EventDrivenConfig cfg;
+  cfg.num_consumers = consumers;
+  cfg.num_producers = 1;
+  memorg::DepEntry e;
+  e.id = "pkt";
+  e.base_address = 4;
+  e.dependency_number = consumers;
+  e.producer_port = 0;
+  for (int i = 0; i < consumers; ++i) e.consumer_ports.push_back(i);
+  cfg.deps.push_back(std::move(e));
+  return cfg;
+}
+
+}  // namespace hicsync::bench

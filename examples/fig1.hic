@@ -1,0 +1,16 @@
+// Figure 1 of the paper: t1 produces x1; t2 and t3 consume it.
+thread t1 () {
+  int x1, xtmp, x2;
+  #consumer{mt1, [t2,y1], [t3,z1]}
+  x1 = f(xtmp, x2);
+}
+thread t2 () {
+  int y1, y2;
+  #producer{mt1, [t1,x1]}
+  y1 = g(x1, y2);
+}
+thread t3 () {
+  int z1, z2;
+  #producer{mt1, [t1,x1]}
+  z1 = h(x1, z2);
+}

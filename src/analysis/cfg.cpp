@@ -1,0 +1,184 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+
+namespace hicsync::analysis {
+
+int Cfg::add_node(CfgNodeKind kind, const hic::Stmt* stmt,
+                  const hic::Expr* cond) {
+  CfgNode n;
+  n.id = static_cast<int>(nodes_.size());
+  n.kind = kind;
+  n.stmt = stmt;
+  n.cond = cond;
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+void Cfg::add_edge(int from, int to) {
+  auto& succs = nodes_[static_cast<std::size_t>(from)].succs;
+  if (std::find(succs.begin(), succs.end(), to) != succs.end()) return;
+  succs.push_back(to);
+  nodes_[static_cast<std::size_t>(to)].preds.push_back(from);
+}
+
+void Cfg::connect(const std::vector<int>& sources, int target) {
+  for (int s : sources) add_edge(s, target);
+}
+
+Cfg Cfg::build(const hic::ThreadDecl& thread) {
+  Cfg cfg;
+  cfg.thread_ = thread.name;
+  cfg.entry_ = cfg.add_node(CfgNodeKind::Entry, nullptr, nullptr);
+  std::vector<LoopCtx*> loops;
+  std::vector<int> exits =
+      cfg.lower_list(thread.body, {cfg.entry_}, loops);
+  cfg.exit_ = cfg.add_node(CfgNodeKind::Exit, nullptr, nullptr);
+  cfg.connect(exits, cfg.exit_);
+  return cfg;
+}
+
+std::vector<int> Cfg::lower_list(const std::vector<hic::StmtPtr>& list,
+                                 std::vector<int> incoming,
+                                 std::vector<LoopCtx*>& loops) {
+  for (const auto& s : list) {
+    // Dead code after break/continue: incoming empty means unreachable; we
+    // still lower it so analyses see the nodes, but leave it unconnected.
+    incoming = lower_stmt(*s, std::move(incoming), loops);
+  }
+  return incoming;
+}
+
+std::vector<int> Cfg::lower_stmt(const hic::Stmt& stmt,
+                                 std::vector<int> incoming,
+                                 std::vector<LoopCtx*>& loops) {
+  switch (stmt.kind) {
+    case hic::StmtKind::Assign: {
+      int n = add_node(CfgNodeKind::Statement, &stmt, nullptr);
+      connect(incoming, n);
+      return {n};
+    }
+    case hic::StmtKind::If: {
+      int branch = add_node(CfgNodeKind::Branch, &stmt, stmt.cond.get());
+      connect(incoming, branch);
+      std::vector<int> then_exits =
+          lower_list(stmt.then_body, {branch}, loops);
+      std::vector<int> exits = std::move(then_exits);
+      if (stmt.else_body.empty()) {
+        exits.push_back(branch);  // fallthrough when condition is false
+      } else {
+        std::vector<int> else_exits =
+            lower_list(stmt.else_body, {branch}, loops);
+        exits.insert(exits.end(), else_exits.begin(), else_exits.end());
+      }
+      return exits;
+    }
+    case hic::StmtKind::Case: {
+      int branch = add_node(CfgNodeKind::Branch, &stmt, stmt.cond.get());
+      connect(incoming, branch);
+      std::vector<int> exits;
+      bool has_default = false;
+      for (const auto& arm : stmt.arms) {
+        if (arm.is_default) has_default = true;
+        std::vector<int> arm_exits = lower_list(arm.body, {branch}, loops);
+        exits.insert(exits.end(), arm_exits.begin(), arm_exits.end());
+      }
+      if (!has_default) exits.push_back(branch);  // unmatched value falls out
+      return exits;
+    }
+    case hic::StmtKind::While: {
+      int branch = add_node(CfgNodeKind::Branch, &stmt, stmt.cond.get());
+      connect(incoming, branch);
+      std::vector<int> breaks;
+      LoopCtx ctx{&breaks, branch, nullptr};
+      loops.push_back(&ctx);
+      std::vector<int> body_exits = lower_list(stmt.body, {branch}, loops);
+      loops.pop_back();
+      connect(body_exits, branch);  // back edge
+      std::vector<int> exits = std::move(breaks);
+      exits.push_back(branch);  // condition-false exit
+      return exits;
+    }
+    case hic::StmtKind::For: {
+      // init -> cond -> body -> step -> cond
+      std::vector<int> after_init =
+          lower_stmt(*stmt.init, std::move(incoming), loops);
+      int branch = add_node(CfgNodeKind::Branch, &stmt, stmt.cond.get());
+      connect(after_init, branch);
+      int step = add_node(CfgNodeKind::Statement, stmt.step.get(), nullptr);
+      std::vector<int> breaks;
+      LoopCtx ctx{&breaks, step, nullptr};
+      loops.push_back(&ctx);
+      std::vector<int> body_exits = lower_list(stmt.body, {branch}, loops);
+      loops.pop_back();
+      connect(body_exits, step);
+      add_edge(step, branch);
+      std::vector<int> exits = std::move(breaks);
+      exits.push_back(branch);
+      return exits;
+    }
+    case hic::StmtKind::Break: {
+      if (!loops.empty()) {
+        for (int s : incoming) loops.back()->break_sources->push_back(s);
+      }
+      return {};  // nothing falls through a break
+    }
+    case hic::StmtKind::Continue: {
+      if (!loops.empty()) {
+        connect(incoming, loops.back()->continue_target);
+      }
+      return {};
+    }
+    case hic::StmtKind::Block:
+      return lower_list(stmt.body, std::move(incoming), loops);
+  }
+  return incoming;
+}
+
+std::vector<int> Cfg::reverse_post_order() const {
+  std::vector<int> order;
+  std::vector<char> visited(nodes_.size(), 0);
+  // Iterative post-order DFS.
+  std::vector<std::pair<int, std::size_t>> stack;
+  stack.emplace_back(entry_, 0);
+  visited[static_cast<std::size_t>(entry_)] = 1;
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    const auto& succs = nodes_[static_cast<std::size_t>(node)].succs;
+    if (next < succs.size()) {
+      int s = succs[next++];
+      if (!visited[static_cast<std::size_t>(s)]) {
+        visited[static_cast<std::size_t>(s)] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+bool Cfg::all_reachable() const {
+  return reverse_post_order().size() == nodes_.size();
+}
+
+std::string Cfg::str() const {
+  std::string out;
+  for (const auto& n : nodes_) {
+    out += std::to_string(n.id);
+    switch (n.kind) {
+      case CfgNodeKind::Entry: out += " entry"; break;
+      case CfgNodeKind::Exit: out += " exit"; break;
+      case CfgNodeKind::Statement: out += " stmt"; break;
+      case CfgNodeKind::Branch: out += " branch"; break;
+    }
+    out += " ->";
+    for (int s : n.succs) out += " " + std::to_string(s);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hicsync::analysis

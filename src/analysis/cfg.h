@@ -1,0 +1,83 @@
+// Per-thread control-flow graph over primitive statements.
+//
+// The front-end produces structured ASTs; analyses (reaching definitions,
+// liveness) and the behavioural synthesizer need a flat graph. Nodes are
+// either primitive statements (assignments), branch decisions (the condition
+// of if/case/for/while), or synthetic entry/exit markers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hic/ast.h"
+
+namespace hicsync::analysis {
+
+enum class CfgNodeKind {
+  Entry,
+  Exit,
+  Statement,  // an Assign
+  Branch,     // evaluates a condition / case scrutinee
+};
+
+struct CfgNode {
+  int id = -1;
+  CfgNodeKind kind = CfgNodeKind::Statement;
+  const hic::Stmt* stmt = nullptr;  // Assign for Statement; the structured
+                                    // stmt (If/Case/For/While) for Branch
+  const hic::Expr* cond = nullptr;  // Branch only
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+/// Flat CFG for one thread. Per the paper's execution model each thread runs
+/// to completion processing one message and then restarts, so Exit is *not*
+/// connected back to Entry here; analyses that care about the steady state
+/// can treat Exit→Entry as an implicit edge via `loops_forever()`.
+class Cfg {
+ public:
+  /// Builds the CFG of `thread`'s body.
+  static Cfg build(const hic::ThreadDecl& thread);
+
+  [[nodiscard]] const std::vector<CfgNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const CfgNode& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] int entry() const { return entry_; }
+  [[nodiscard]] int exit() const { return exit_; }
+  [[nodiscard]] const std::string& thread_name() const { return thread_; }
+
+  /// Nodes in reverse post-order from entry (good iteration order for
+  /// forward dataflow).
+  [[nodiscard]] std::vector<int> reverse_post_order() const;
+
+  /// True if every node is reachable from entry.
+  [[nodiscard]] bool all_reachable() const;
+
+  /// Debug rendering: one line per node.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  int add_node(CfgNodeKind kind, const hic::Stmt* stmt,
+               const hic::Expr* cond);
+  void add_edge(int from, int to);
+
+  /// Lowers a statement list. `entry_from` is the set of dangling edges to
+  /// connect to the first node; returns the dangling exits of the list.
+  struct LoopCtx {
+    std::vector<int>* break_sources;
+    int continue_target;
+    std::vector<int>* continue_pending;  // when target not yet known
+  };
+  std::vector<int> lower_list(const std::vector<hic::StmtPtr>& list,
+                              std::vector<int> incoming,
+                              std::vector<LoopCtx*>& loops);
+  std::vector<int> lower_stmt(const hic::Stmt& stmt, std::vector<int> incoming,
+                              std::vector<LoopCtx*>& loops);
+  void connect(const std::vector<int>& sources, int target);
+
+  std::string thread_;
+  std::vector<CfgNode> nodes_;
+  int entry_ = -1;
+  int exit_ = -1;
+};
+
+}  // namespace hicsync::analysis

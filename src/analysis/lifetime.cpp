@@ -1,0 +1,135 @@
+#include "analysis/lifetime.h"
+
+#include <algorithm>
+
+namespace hicsync::analysis {
+
+LivenessAnalysis::LivenessAnalysis(const Cfg& cfg, const UseDefAnalysis& ud)
+    : cfg_(cfg), ud_(ud) {
+  for (const Access& a : ud_.accesses()) {
+    if (bits_.count(a.symbol) == 0) {
+      bits_[a.symbol] = static_cast<int>(symbols_.size());
+      symbols_.push_back(a.symbol);
+    }
+  }
+  run();
+}
+
+int LivenessAnalysis::bit_of(const hic::Symbol* sym) const {
+  auto it = bits_.find(sym);
+  return it == bits_.end() ? -1 : it->second;
+}
+
+void LivenessAnalysis::run() {
+  const std::size_t num_nodes = cfg_.nodes().size();
+  const std::size_t num_syms = symbols_.size();
+  std::vector<std::vector<char>> use(num_nodes,
+                                     std::vector<char>(num_syms, 0));
+  std::vector<std::vector<char>> def = use;
+  for (const Access& a : ud_.accesses()) {
+    auto n = static_cast<std::size_t>(a.cfg_node);
+    auto b = static_cast<std::size_t>(bits_[a.symbol]);
+    if (a.is_def) {
+      // Array defs do not fully define the variable (other elements keep
+      // their values), so they do not block liveness.
+      if (!a.symbol->is_array() && !use[n][b]) def[n][b] = 1;
+    } else {
+      // Uses are collected before the def within an Assign node, so a use
+      // here means upward-exposed.
+      use[n][b] = 1;
+    }
+  }
+
+  live_in_.assign(num_nodes, std::vector<char>(num_syms, 0));
+  live_out_.assign(num_nodes, std::vector<char>(num_syms, 0));
+
+  // Backward dataflow to a fixed point. Iterate in post-order (reverse of
+  // RPO) for fast convergence.
+  std::vector<int> order = cfg_.reverse_post_order();
+  std::reverse(order.begin(), order.end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int id : order) {
+      auto n = static_cast<std::size_t>(id);
+      auto& out = live_out_[n];
+      for (int s : cfg_.node(id).succs) {
+        const auto& sin = live_in_[static_cast<std::size_t>(s)];
+        for (std::size_t b = 0; b < num_syms; ++b) {
+          if (sin[b] && !out[b]) out[b] = 1;
+        }
+      }
+      for (std::size_t b = 0; b < num_syms; ++b) {
+        char in_b = use[n][b] || (out[b] && !def[n][b]);
+        if (in_b != live_in_[n][b]) {
+          live_in_[n][b] = in_b;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+std::vector<hic::Symbol*> LivenessAnalysis::live_in(int node) const {
+  std::vector<hic::Symbol*> out;
+  const auto& bits = live_in_[static_cast<std::size_t>(node)];
+  for (std::size_t b = 0; b < bits.size(); ++b) {
+    if (bits[b]) out.push_back(symbols_[b]);
+  }
+  return out;
+}
+
+std::vector<hic::Symbol*> LivenessAnalysis::live_out(int node) const {
+  std::vector<hic::Symbol*> out;
+  const auto& bits = live_out_[static_cast<std::size_t>(node)];
+  for (std::size_t b = 0; b < bits.size(); ++b) {
+    if (bits[b]) out.push_back(symbols_[b]);
+  }
+  return out;
+}
+
+bool LivenessAnalysis::is_live_in(int node, const hic::Symbol* sym) const {
+  int b = bit_of(sym);
+  return b >= 0 && live_in_[static_cast<std::size_t>(node)]
+                           [static_cast<std::size_t>(b)] != 0;
+}
+
+bool LivenessAnalysis::is_live_out(int node, const hic::Symbol* sym) const {
+  int b = bit_of(sym);
+  return b >= 0 && live_out_[static_cast<std::size_t>(node)]
+                            [static_cast<std::size_t>(b)] != 0;
+}
+
+std::uint64_t LivenessAnalysis::peak_live_bits() const {
+  std::uint64_t shared_bits = 0;
+  for (const hic::Symbol* s : symbols_) {
+    if (s->is_shared()) shared_bits += s->storage_bits();
+  }
+  std::uint64_t peak = 0;
+  for (std::size_t n = 0; n < live_in_.size(); ++n) {
+    std::uint64_t here = shared_bits;
+    for (std::size_t b = 0; b < symbols_.size(); ++b) {
+      if (live_in_[n][b] && !symbols_[b]->is_shared()) {
+        here += symbols_[b]->storage_bits();
+      }
+    }
+    peak = std::max(peak, here);
+  }
+  return peak;
+}
+
+std::vector<hic::Symbol*> LivenessAnalysis::dead_symbols() const {
+  std::vector<hic::Symbol*> out;
+  for (std::size_t b = 0; b < symbols_.size(); ++b) {
+    bool live_anywhere = false;
+    for (std::size_t n = 0; n < live_in_.size() && !live_anywhere; ++n) {
+      live_anywhere = live_in_[n][b] || live_out_[n][b];
+    }
+    if (!live_anywhere && !symbols_[b]->is_shared()) {
+      out.push_back(symbols_[b]);
+    }
+  }
+  return out;
+}
+
+}  // namespace hicsync::analysis

@@ -1,0 +1,51 @@
+// Variable liveness / lifetime analysis.
+//
+// Feeds the memory-size analysis of §3: "the user makes memory allocation
+// decisions based on the memory size analysis and a partial order of
+// operations". Liveness gives, per CFG point, which variables hold values
+// that may still be read — the peak simultaneous footprint bounds the BRAM
+// budget a thread really needs.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/usedef.h"
+#include "hic/symbol.h"
+
+namespace hicsync::analysis {
+
+class LivenessAnalysis {
+ public:
+  LivenessAnalysis(const Cfg& cfg, const UseDefAnalysis& ud);
+
+  /// Symbols live on entry to / exit from a node.
+  [[nodiscard]] std::vector<hic::Symbol*> live_in(int node) const;
+  [[nodiscard]] std::vector<hic::Symbol*> live_out(int node) const;
+
+  [[nodiscard]] bool is_live_in(int node, const hic::Symbol* sym) const;
+  [[nodiscard]] bool is_live_out(int node, const hic::Symbol* sym) const;
+
+  /// Peak number of bits simultaneously live at any point in the thread.
+  /// Shared (inter-thread) variables are always counted as live: their value
+  /// must persist until remote consumers read it.
+  [[nodiscard]] std::uint64_t peak_live_bits() const;
+
+  /// Symbols never live anywhere (dead variables — declared but the value
+  /// is never read).
+  [[nodiscard]] std::vector<hic::Symbol*> dead_symbols() const;
+
+ private:
+  void run();
+  [[nodiscard]] int bit_of(const hic::Symbol* sym) const;
+
+  const Cfg& cfg_;
+  const UseDefAnalysis& ud_;
+  std::vector<hic::Symbol*> symbols_;       // bit position -> symbol
+  std::map<const hic::Symbol*, int> bits_;  // symbol -> bit position
+  std::vector<std::vector<char>> live_in_;
+  std::vector<std::vector<char>> live_out_;
+};
+
+}  // namespace hicsync::analysis

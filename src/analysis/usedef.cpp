@@ -1,0 +1,204 @@
+#include "analysis/usedef.h"
+
+#include <algorithm>
+
+namespace hicsync::analysis {
+
+UseDefAnalysis::UseDefAnalysis(const Cfg& cfg) : cfg_(cfg) {
+  collect_accesses();
+  run_reaching_definitions();
+}
+
+void UseDefAnalysis::collect_expr(int node, const hic::Stmt* stmt,
+                                  const hic::Expr& e, bool is_def_root) {
+  switch (e.kind) {
+    case hic::ExprKind::VarRef: {
+      if (e.symbol == nullptr) return;  // unresolved (error program)
+      Access a;
+      a.index = static_cast<int>(accesses_.size());
+      a.cfg_node = node;
+      a.stmt = stmt;
+      a.expr = &e;
+      a.symbol = e.symbol;
+      a.is_def = is_def_root;
+      accesses_.push_back(a);
+      return;
+    }
+    case hic::ExprKind::Index: {
+      // The base is a def if this index expression is the assignment target;
+      // the subscript is always a use.
+      collect_expr(node, stmt, *e.operands[0], is_def_root);
+      collect_expr(node, stmt, *e.operands[1], false);
+      return;
+    }
+    case hic::ExprKind::Member:
+      collect_expr(node, stmt, *e.operands[0], is_def_root);
+      return;
+    case hic::ExprKind::IntLit:
+    case hic::ExprKind::CharLit:
+      return;
+    case hic::ExprKind::Unary:
+    case hic::ExprKind::Binary:
+    case hic::ExprKind::Call:
+      for (const auto& op : e.operands) {
+        collect_expr(node, stmt, *op, false);
+      }
+      return;
+  }
+}
+
+void UseDefAnalysis::collect_accesses() {
+  for (const CfgNode& n : cfg_.nodes()) {
+    if (n.kind == CfgNodeKind::Statement && n.stmt != nullptr &&
+        n.stmt->kind == hic::StmtKind::Assign) {
+      // RHS uses first (matches evaluation order), then the LHS def.
+      collect_expr(n.id, n.stmt, *n.stmt->value, false);
+      collect_expr(n.id, n.stmt, *n.stmt->target, true);
+    } else if (n.kind == CfgNodeKind::Branch && n.cond != nullptr) {
+      collect_expr(n.id, n.stmt, *n.cond, false);
+    }
+  }
+  def_ids_.assign(accesses_.size(), -1);
+  int next_def = 0;
+  for (const Access& a : accesses_) {
+    if (a.is_def) def_ids_[static_cast<std::size_t>(a.index)] = next_def++;
+  }
+}
+
+void UseDefAnalysis::run_reaching_definitions() {
+  const std::size_t num_nodes = cfg_.nodes().size();
+  int num_defs = 0;
+  for (int id : def_ids_) num_defs = std::max(num_defs, id + 1);
+
+  // gen/kill per node.
+  std::vector<std::vector<char>> gen(num_nodes,
+                                     std::vector<char>(static_cast<std::size_t>(num_defs), 0));
+  std::vector<std::vector<char>> kill = gen;
+  for (const Access& a : accesses_) {
+    if (!a.is_def) continue;
+    int bit = def_ids_[static_cast<std::size_t>(a.index)];
+    auto& g = gen[static_cast<std::size_t>(a.cfg_node)];
+    g[static_cast<std::size_t>(bit)] = 1;
+    // A def kills all other defs of the same symbol. (Array writes are
+    // conservative: an arr[i] write does not kill other arr defs.)
+    if (a.symbol->is_array()) continue;
+    for (const Access& other : accesses_) {
+      if (!other.is_def || other.symbol != a.symbol ||
+          other.index == a.index) {
+        continue;
+      }
+      kill[static_cast<std::size_t>(a.cfg_node)]
+          [static_cast<std::size_t>(def_ids_[static_cast<std::size_t>(other.index)])] = 1;
+    }
+  }
+
+  reach_in_.assign(num_nodes,
+                   std::vector<char>(static_cast<std::size_t>(num_defs), 0));
+  std::vector<std::vector<char>> reach_out = reach_in_;
+
+  std::vector<int> order = cfg_.reverse_post_order();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int id : order) {
+      auto node_idx = static_cast<std::size_t>(id);
+      const CfgNode& n = cfg_.node(id);
+      auto& in = reach_in_[node_idx];
+      for (int p : n.preds) {
+        const auto& pout = reach_out[static_cast<std::size_t>(p)];
+        for (std::size_t b = 0; b < in.size(); ++b) {
+          if (pout[b] && !in[b]) in[b] = 1;
+        }
+      }
+      for (std::size_t b = 0; b < in.size(); ++b) {
+        char out_b = (in[b] && !kill[node_idx][b]) || gen[node_idx][b];
+        if (out_b != reach_out[node_idx][b]) {
+          reach_out[node_idx][b] = out_b;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+std::vector<const Access*> UseDefAnalysis::defs() const {
+  std::vector<const Access*> out;
+  for (const Access& a : accesses_) {
+    if (a.is_def) out.push_back(&a);
+  }
+  return out;
+}
+
+std::vector<const Access*> UseDefAnalysis::uses() const {
+  std::vector<const Access*> out;
+  for (const Access& a : accesses_) {
+    if (!a.is_def) out.push_back(&a);
+  }
+  return out;
+}
+
+std::vector<const Access*> UseDefAnalysis::reaching_defs(
+    const Access& use) const {
+  std::vector<const Access*> out;
+  const auto& in = reach_in_[static_cast<std::size_t>(use.cfg_node)];
+  bool killed_locally = false;
+  // A def of the same symbol *earlier in the same node* supersedes defs
+  // flowing in from predecessors (e.g. `x = ...; ` uses before the def in
+  // one node cannot happen for Assign nodes — the RHS is collected first —
+  // but two accesses in one node still follow access order).
+  for (const Access& a : accesses_) {
+    if (a.cfg_node != use.cfg_node || a.index >= use.index || !a.is_def ||
+        a.symbol != use.symbol) {
+      continue;
+    }
+    out.push_back(&a);
+    if (!a.symbol->is_array()) killed_locally = true;
+  }
+  if (!killed_locally) {
+    for (const Access& a : accesses_) {
+      if (!a.is_def || a.symbol != use.symbol) continue;
+      int bit = def_ids_[static_cast<std::size_t>(a.index)];
+      if (in[static_cast<std::size_t>(bit)]) out.push_back(&a);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Access* x, const Access* y) { return x->index < y->index; });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<const Access*> UseDefAnalysis::reached_uses(
+    const Access& def) const {
+  std::vector<const Access*> out;
+  for (const Access& a : accesses_) {
+    if (a.is_def || a.symbol != def.symbol) continue;
+    auto rd = reaching_defs(a);
+    if (std::find(rd.begin(), rd.end(), &def) != rd.end()) {
+      out.push_back(&a);
+    }
+  }
+  return out;
+}
+
+std::vector<const Access*> UseDefAnalysis::undefined_uses() const {
+  std::vector<const Access*> out;
+  for (const Access& a : accesses_) {
+    if (a.is_def) continue;
+    if (reaching_defs(a).empty()) out.push_back(&a);
+  }
+  return out;
+}
+
+std::vector<InterThreadAccess> extract_interthread_reads(
+    const Cfg& cfg, const UseDefAnalysis& ud) {
+  std::vector<InterThreadAccess> out;
+  for (const Access& a : ud.accesses()) {
+    if (a.is_def || a.symbol == nullptr) continue;
+    if (a.symbol->thread() != cfg.thread_name()) {
+      out.push_back(InterThreadAccess{&a, a.symbol});
+    }
+  }
+  return out;
+}
+
+}  // namespace hicsync::analysis

@@ -1,0 +1,74 @@
+// Use-def analysis over a thread CFG.
+//
+// The paper (§2) notes that producers/consumers could be extracted with
+// "standard compiler use-def analysis [7] and other lifetime analysis
+// methods [9]" instead of pragmas. This module implements reaching
+// definitions and def-use/use-def chains; `extract_interthread_accesses`
+// recovers the producer/consumer relationships from resolved symbols so the
+// pragma-declared dependencies can be cross-checked.
+#pragma once
+
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "hic/symbol.h"
+
+namespace hicsync::analysis {
+
+/// One variable access inside a CFG node.
+struct Access {
+  int index = -1;       // position in the analysis' access list
+  int cfg_node = -1;
+  const hic::Stmt* stmt = nullptr;
+  const hic::Expr* expr = nullptr;  // the VarRef / Index / Member expression
+  hic::Symbol* symbol = nullptr;
+  bool is_def = false;
+};
+
+class UseDefAnalysis {
+ public:
+  explicit UseDefAnalysis(const Cfg& cfg);
+
+  [[nodiscard]] const std::vector<Access>& accesses() const {
+    return accesses_;
+  }
+  [[nodiscard]] std::vector<const Access*> defs() const;
+  [[nodiscard]] std::vector<const Access*> uses() const;
+
+  /// Definitions of `use.symbol` that may reach `use` (use-def chain).
+  [[nodiscard]] std::vector<const Access*> reaching_defs(
+      const Access& use) const;
+
+  /// Uses that a definition may reach (def-use chain).
+  [[nodiscard]] std::vector<const Access*> reached_uses(
+      const Access& def) const;
+
+  /// Uses with no reaching definition in this thread — either genuinely
+  /// uninitialized or produced by another thread (cross-thread reads have a
+  /// symbol owned by a different thread).
+  [[nodiscard]] std::vector<const Access*> undefined_uses() const;
+
+ private:
+  void collect_accesses();
+  void collect_expr(int node, const hic::Stmt* stmt, const hic::Expr& e,
+                    bool is_def_root);
+  void run_reaching_definitions();
+
+  const Cfg& cfg_;
+  std::vector<Access> accesses_;
+  // reach_in_[node] is a bitset over def indices (positions of defs in the
+  // per-symbol def lists flattened into accesses_).
+  std::vector<std::vector<char>> reach_in_;
+  std::vector<int> def_ids_;  // access index -> def bit position, -1 if use
+};
+
+/// Cross-thread accesses found by symbol resolution: any read of a symbol
+/// owned by another thread is a consume; the owner's writes are produces.
+struct InterThreadAccess {
+  const Access* access;
+  hic::Symbol* symbol;
+};
+[[nodiscard]] std::vector<InterThreadAccess> extract_interthread_reads(
+    const Cfg& cfg, const UseDefAnalysis& ud);
+
+}  // namespace hicsync::analysis

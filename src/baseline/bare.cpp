@@ -1,0 +1,112 @@
+#include "baseline/bare.h"
+
+#include "rtl/builder.h"
+#include "support/bits.h"
+
+namespace hicsync::baseline {
+
+using rtl::ebin;
+using rtl::econst;
+using rtl::enot;
+using rtl::eref;
+using rtl::RtlExprPtr;
+using rtl::RtlOp;
+
+rtl::Module& generate_bare(rtl::Design& design, const BareConfig& cfg,
+                           const std::string& name) {
+  rtl::Module& m = design.add_module(name);
+  const int aw = cfg.addr_width;
+  const int dw = cfg.data_width;
+  const int n = cfg.num_clients;
+  const int ow = support::clog2_at_least1(static_cast<std::uint64_t>(n));
+
+  (void)m.clk();
+  (void)m.rst();
+
+  int a_en = m.add_input("a_en", 1);
+  int a_we = m.add_input("a_we", 1);
+  int a_addr = m.add_input("a_addr", aw);
+  int a_wdata = m.add_input("a_wdata", dw);
+  int a_rdata = m.add_output_reg("a_rdata", dw);
+
+  std::vector<int> req(static_cast<std::size_t>(n));
+  std::vector<int> we(static_cast<std::size_t>(n));
+  std::vector<int> addr(static_cast<std::size_t>(n));
+  std::vector<int> wdata(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::string s = std::to_string(i);
+    req[static_cast<std::size_t>(i)] = m.add_input("req" + s, 1);
+    we[static_cast<std::size_t>(i)] = m.add_input("we" + s, 1);
+    addr[static_cast<std::size_t>(i)] = m.add_input("addr" + s, aw);
+    wdata[static_cast<std::size_t>(i)] = m.add_input("wdata" + s, dw);
+  }
+  int bus_rdata = m.add_output_reg("bus_rdata", dw);
+
+  rtl::ArbiterNets arb = rtl::build_round_robin_arbiter(m, req, "arb");
+  for (int i = 0; i < n; ++i) {
+    int g = m.add_output("grant" + std::to_string(i), 1);
+    m.assign(g, eref(arb.grant[static_cast<std::size_t>(i)], 1));
+  }
+
+  std::vector<RtlExprPtr> addr_vals;
+  std::vector<RtlExprPtr> data_vals;
+  std::vector<RtlExprPtr> we_terms;
+  std::vector<RtlExprPtr> rd_terms;
+  std::vector<RtlExprPtr> ids;
+  for (int i = 0; i < n; ++i) {
+    addr_vals.push_back(eref(addr[static_cast<std::size_t>(i)], aw));
+    data_vals.push_back(eref(wdata[static_cast<std::size_t>(i)], dw));
+    we_terms.push_back(
+        ebin(RtlOp::And, eref(arb.grant[static_cast<std::size_t>(i)], 1),
+             eref(we[static_cast<std::size_t>(i)], 1)));
+    rd_terms.push_back(
+        ebin(RtlOp::And, eref(arb.grant[static_cast<std::size_t>(i)], 1),
+             enot(eref(we[static_cast<std::size_t>(i)], 1))));
+    ids.push_back(econst(static_cast<std::uint64_t>(i), ow));
+  }
+  int port1_addr = m.add_reg("port1_addr", aw);
+  m.seq(port1_addr,
+        rtl::build_onehot_mux(m, arb.grant, std::move(addr_vals), aw));
+  int port1_wdata = m.add_reg("port1_wdata", dw);
+  m.seq(port1_wdata,
+        rtl::build_onehot_mux(m, arb.grant, std::move(data_vals), dw));
+  int port1_we = m.add_reg("port1_we", 1);
+  m.seq(port1_we, rtl::eor_tree(std::move(we_terms), 1));
+
+  int v1 = m.add_reg("valid_q1", 1);
+  m.seq(v1, rtl::eor_tree(std::move(rd_terms), 1));
+  int v2 = m.add_reg("valid_q2", 1);
+  m.seq(v2, eref(v1, 1));
+  int id1 = m.add_reg("grant_id_q1", ow);
+  m.seq(id1, rtl::build_onehot_mux(m, arb.grant, std::move(ids), ow));
+  int id2 = m.add_reg("grant_id_q2", ow);
+  m.seq(id2, eref(id1, ow));
+  for (int i = 0; i < n; ++i) {
+    int v = m.add_output("valid" + std::to_string(i), 1);
+    m.assign(v, ebin(RtlOp::And, eref(v2, 1),
+                     ebin(RtlOp::Eq, eref(id2, ow),
+                          econst(static_cast<std::uint64_t>(i), ow))));
+  }
+
+  rtl::Memory& mem = m.add_memory("mem", dw, 1 << aw);
+  {
+    rtl::MemoryPort p0;
+    p0.addr = eref(a_addr, aw);
+    p0.write_enable = ebin(RtlOp::And, eref(a_en, 1), eref(a_we, 1));
+    p0.write_data = eref(a_wdata, dw);
+    p0.read_data = a_rdata;
+    mem.ports.push_back(std::move(p0));
+  }
+  {
+    rtl::MemoryPort p1;
+    p1.addr = eref(port1_addr, aw);
+    p1.write_enable = eref(port1_we, 1);
+    p1.write_data = eref(port1_wdata, dw);
+    p1.read_data = bus_rdata;
+    mem.ports.push_back(std::move(p1));
+  }
+
+  return m;
+}
+
+}  // namespace hicsync::baseline

@@ -1,0 +1,28 @@
+// Bare shared-BRAM wrapper — the "manual guard" baseline substrate.
+//
+// No dependency enforcement at all: a direct port plus a round-robin
+// arbitrated port. Synchronization is entirely up to the clients; the
+// classic hand-written discipline polls a flag word (producer writes data,
+// then bumps a generation flag; consumers poll the flag, then read the
+// data). protocols.h drives that discipline so the cost and fragility of
+// the manual approach can be measured against the generated organizations.
+#pragma once
+
+#include <string>
+
+#include "rtl/netlist.h"
+
+namespace hicsync::baseline {
+
+struct BareConfig {
+  int addr_width = 9;
+  int data_width = 32;
+  int num_clients = 3;
+};
+
+/// Port names: clk, rst; a_en/a_we/a_addr/a_wdata -> a_rdata;
+/// req<i>/we<i>/addr<i>/wdata<i> -> grant<i>, valid<i>, bus_rdata.
+rtl::Module& generate_bare(rtl::Design& design, const BareConfig& cfg,
+                           const std::string& name);
+
+}  // namespace hicsync::baseline

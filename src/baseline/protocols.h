@@ -1,0 +1,58 @@
+// Host-driven hand-off protocols over the generated controllers.
+//
+// A single metric — one producer publishing a value to N consumers,
+// repeated for R rounds — measured on four substrates:
+//   * polling over the bare wrapper (the manual flag discipline of §1),
+//   * lock-based over the lock controller,
+//   * the arbitrated organization (§3.1),
+//   * the event-driven organization (§3.2).
+// Used by bench_baseline_comparison and bench_latency_determinism; also
+// exercised in tests as cross-substrate correctness checks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/eval.h"
+
+namespace hicsync::baseline {
+
+struct HandoffMetrics {
+  bool ok = false;                  // every consumer saw every round's value
+  std::uint64_t total_cycles = 0;
+  /// Per round: publish (producer's final grant) → last consumer has data.
+  std::vector<std::uint64_t> round_latencies;
+  /// Shared-port operations granted (bus occupancy), including polls.
+  std::uint64_t bus_grants = 0;
+
+  [[nodiscard]] double mean_latency() const;
+  [[nodiscard]] std::uint64_t max_latency() const;
+  [[nodiscard]] std::uint64_t min_latency() const;
+  [[nodiscard]] bool latencies_identical() const;
+};
+
+/// Polling discipline on the bare wrapper (generate_bare with
+/// num_clients = consumers + 1; client 0 is the producer).
+/// data at address 4, generation flag at address 5.
+HandoffMetrics run_polling_handoff(const rtl::Module& bare, int consumers,
+                                   int rounds,
+                                   std::uint64_t max_cycles = 100000);
+
+/// Lock discipline on the lock controller (generate_lockmem with
+/// num_clients = consumers + 1 and a lock over address 4).
+HandoffMetrics run_lock_handoff(const rtl::Module& lockmem, int consumers,
+                                int rounds,
+                                std::uint64_t max_cycles = 100000);
+
+/// The arbitrated organization (generate_arbitrated, 1 producer,
+/// `consumers` pseudo-ports, dependency at address 4).
+HandoffMetrics run_arbitrated_handoff(const rtl::Module& org, int consumers,
+                                      int rounds,
+                                      std::uint64_t max_cycles = 100000);
+
+/// The event-driven organization (generate_eventdriven, same shape).
+HandoffMetrics run_eventdriven_handoff(const rtl::Module& org, int consumers,
+                                       int rounds,
+                                       std::uint64_t max_cycles = 100000);
+
+}  // namespace hicsync::baseline

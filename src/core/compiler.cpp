@@ -1,0 +1,194 @@
+#include "core/compiler.h"
+
+#include <algorithm>
+
+#include "analysis/depgraph.h"
+#include "hic/infer.h"
+#include "hic/parser.h"
+#include "memorg/arbitrated.h"
+#include "memorg/eventdriven.h"
+#include "rtl/verilog.h"
+#include "support/strings.h"
+
+namespace hicsync::core {
+
+const synth::ThreadFsm* CompileResult::fsm(const std::string& thread) const {
+  for (const auto& f : fsms_) {
+    if (f.thread_name() == thread) return &f;
+  }
+  return nullptr;
+}
+
+std::string CompileResult::verilog() const {
+  return rtl::emit_design(design_);
+}
+
+fpga::MapResult CompileResult::total_overhead() const {
+  fpga::MapResult total;
+  for (const BramReport& r : bram_reports_) {
+    total.luts += r.area.luts;
+    total.carry_luts += r.area.carry_luts;
+    total.ffs += r.area.ffs;
+    total.slices += r.area.slices;
+    total.bram_blocks += r.area.bram_blocks;
+    total.logic_levels = std::max(total.logic_levels, r.area.logic_levels);
+    total.max_carry_bits =
+        std::max(total.max_carry_bits, r.area.max_carry_bits);
+  }
+  return total;
+}
+
+double CompileResult::min_fmax_mhz() const {
+  double fmax = 0.0;
+  bool first = true;
+  for (const BramReport& r : bram_reports_) {
+    if (first || r.timing.fmax_mhz < fmax) fmax = r.timing.fmax_mhz;
+    first = false;
+  }
+  return fmax;
+}
+
+bool CompileResult::meets_target() const {
+  for (const BramReport& r : bram_reports_) {
+    if (!r.timing.meets(options_.target_clock_mhz)) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<sim::SystemSim> CompileResult::make_simulator(
+    sim::SystemOptions sim_options) const {
+  return std::make_unique<sim::SystemSim>(program_, *sema_, map_, plans_,
+                                          sim_options);
+}
+
+std::unique_ptr<sim::SystemSim> CompileResult::make_simulator() const {
+  sim::SystemOptions opts;
+  opts.organization = options_.organization;
+  opts.restart_threads = true;
+  return make_simulator(opts);
+}
+
+std::unique_ptr<CompileResult> Compiler::compile(
+    std::string_view source) const {
+  auto result = std::make_unique<CompileResult>();
+  CompileResult& r = *result;
+  r.options_ = options_;
+
+  // Front end.
+  r.program_ = hic::parse_source(source, r.diags_);
+  if (r.diags_.has_errors()) return result;
+  if (options_.infer_dependencies) {
+    hic::infer_dependencies(r.program_, r.diags_);
+    if (r.diags_.has_errors()) return result;
+  }
+  r.sema_ = std::make_unique<hic::Sema>(r.program_, r.diags_);
+  if (!r.sema_->run()) return result;
+
+  // Static deadlock detection (§1: "deadlocks are identified statically").
+  auto depgraph = analysis::ThreadDepGraph::build(r.program_,
+                                                  r.sema_->dependencies());
+  r.deadlock_warnings_ = depgraph.deadlock_reports();
+
+  // Behavioural synthesis + scheduling.
+  for (const hic::ThreadDecl& t : r.program_.threads) {
+    synth::ThreadFsm fsm = synth::ThreadFsm::synthesize(t, *r.sema_);
+    synth::schedule(fsm, options_.schedule);
+    r.fsms_.push_back(std::move(fsm));
+  }
+
+  // Memory allocation and port planning.
+  r.map_ = memalloc::Allocator(options_.allocator).allocate(*r.sema_);
+  r.plans_ = memalloc::PortPlanner::plan(*r.sema_, r.map_, r.fsms_);
+
+  // Generate one controller per BRAM and map it.
+  fpga::TechMapper mapper;
+  for (const memalloc::BramInstance& bram : r.map_.brams()) {
+    const memalloc::BramPortPlan* plan = nullptr;
+    for (const auto& p : r.plans_) {
+      if (p.bram_id == bram.id) plan = &p;
+    }
+    if (plan == nullptr) continue;
+    BramReport report;
+    report.bram_id = bram.id;
+    report.consumers = plan->consumer_pseudo_ports();
+    report.producers = plan->producer_pseudo_ports();
+    report.dependencies = static_cast<int>(bram.dependencies.size());
+    report.module_name = "memorg_bram" + std::to_string(bram.id);
+    if (options_.organization == sim::OrgKind::Arbitrated) {
+      memorg::ArbitratedConfig cfg =
+          memorg::arbitrated_config_from(bram, *plan);
+      cfg.use_cam = options_.use_cam;
+      rtl::Module& m =
+          memorg::generate_arbitrated(r.design_, cfg, report.module_name);
+      report.area = mapper.map(m);
+    } else {
+      memorg::EventDrivenConfig cfg =
+          memorg::eventdriven_config_from(bram, *plan);
+      rtl::Module& m =
+          memorg::generate_eventdriven(r.design_, cfg, report.module_name);
+      report.area = mapper.map(m);
+    }
+    report.timing = fpga::estimate_timing(report.area,
+                                          /*launches_from_bram=*/false);
+    r.bram_reports_.push_back(std::move(report));
+  }
+
+  r.ok_ = true;
+  return result;
+}
+
+std::string render_report(const CompileResult& r) {
+  std::string out;
+  out += "=== hicsync compilation report ===\n";
+  out += support::format("organization: %s\n",
+                         sim::to_string(r.options().organization));
+  if (!r.ok()) {
+    out += "FAILED:\n" + r.diags().str();
+    return out;
+  }
+
+  out += support::format("threads: %zu\n", r.program().threads.size());
+  for (const auto& fsm : r.fsms()) {
+    out += support::format(
+        "  %-12s %zu states, %zu blocking, %zu producing\n",
+        fsm.thread_name().c_str(), fsm.states().size(),
+        fsm.blocking_states().size(), fsm.producing_states().size());
+  }
+
+  out += support::format("dependencies: %zu\n",
+                         r.sema().dependencies().size());
+  for (const auto& dep : r.sema().dependencies()) {
+    out += "  " + dep.id + ": " + dep.shared_var->qualified_name() + " -> ";
+    for (std::size_t i = 0; i < dep.consumers.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += dep.consumers[i].thread;
+    }
+    out += support::format(" (dependency number %d)\n",
+                           dep.dependency_number());
+  }
+
+  for (const std::string& w : r.deadlock_warnings()) {
+    out += "WARNING: " + w + "\n";
+  }
+
+  out += "memory map:\n" + support::indent(r.memory_map().str(), 2) + "\n";
+
+  out += "controllers:\n";
+  for (const BramReport& br : r.bram_reports()) {
+    out += support::format(
+        "  %s  P/C=%d/%d  LUT %d  FF %d  slices %d  BRAM %d  "
+        "Fmax %.1f MHz (%s %.0f MHz target)\n",
+        br.module_name.c_str(), br.producers, br.consumers, br.area.luts,
+        br.area.ffs, br.area.slices, br.area.bram_blocks,
+        br.timing.fmax_mhz,
+        br.timing.meets(r.options().target_clock_mhz) ? "meets" : "misses",
+        r.options().target_clock_mhz);
+  }
+  fpga::MapResult total = r.total_overhead();
+  out += support::format(
+      "total controller overhead: LUT %d  FF %d  slices %d\n", total.luts,
+      total.ffs, total.slices);
+  return out;
+}
+
+}  // namespace hicsync::core

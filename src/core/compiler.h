@@ -1,0 +1,129 @@
+// Top-level compiler driver: hic source → analysis → synthesis → memory
+// allocation → memory-organization generation → Verilog + area/timing
+// reports, in one call. This is the library's primary public entry point;
+// §3's design flow end to end, with the §4 design-space choice (arbitrated
+// vs event-driven, per constraints) exposed as an option.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fpga/techmap.h"
+#include "fpga/timing.h"
+#include "hic/sema.h"
+#include "memalloc/allocator.h"
+#include "memalloc/portplan.h"
+#include "rtl/netlist.h"
+#include "sim/system.h"
+#include "support/diagnostics.h"
+#include "synth/scheduler.h"
+
+namespace hicsync::core {
+
+struct CompileOptions {
+  sim::OrgKind organization = sim::OrgKind::Arbitrated;
+  synth::SchedulePolicy schedule;           // default: one statement/state
+  memalloc::AllocatorOptions allocator;
+  bool use_cam = true;                      // arbitrated dependency list
+  double target_clock_mhz = 125.0;          // the paper's target
+  /// Infer producer/consumer relationships for cross-thread reads that
+  /// carry no pragmas (the use-def alternative §2 mentions).
+  bool infer_dependencies = false;
+};
+
+/// Area/timing report for one generated memory-organization controller.
+struct BramReport {
+  int bram_id = -1;
+  std::string module_name;
+  int consumers = 0;
+  int producers = 0;
+  int dependencies = 0;
+  fpga::MapResult area;
+  fpga::TimingResult timing;
+};
+
+/// Owns everything produced by a compilation. Not movable: later stages
+/// hold references into earlier ones.
+class CompileResult {
+ public:
+  CompileResult() = default;
+  CompileResult(const CompileResult&) = delete;
+  CompileResult& operator=(const CompileResult&) = delete;
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const support::DiagnosticEngine& diags() const {
+    return diags_;
+  }
+  [[nodiscard]] const hic::Program& program() const { return program_; }
+  [[nodiscard]] const hic::Sema& sema() const { return *sema_; }
+  [[nodiscard]] const std::vector<synth::ThreadFsm>& fsms() const {
+    return fsms_;
+  }
+  [[nodiscard]] const synth::ThreadFsm* fsm(const std::string& thread) const;
+  [[nodiscard]] const memalloc::MemoryMap& memory_map() const { return map_; }
+  [[nodiscard]] const std::vector<memalloc::BramPortPlan>& port_plans()
+      const {
+    return plans_;
+  }
+  [[nodiscard]] const rtl::Design& design() const { return design_; }
+  [[nodiscard]] const std::vector<BramReport>& bram_reports() const {
+    return bram_reports_;
+  }
+  [[nodiscard]] const std::vector<std::string>& deadlock_warnings() const {
+    return deadlock_warnings_;
+  }
+  [[nodiscard]] const CompileOptions& options() const { return options_; }
+
+  /// Generated RTL of every controller, as Verilog-2001 text.
+  [[nodiscard]] std::string verilog() const;
+
+  /// Totals across all generated controllers.
+  [[nodiscard]] fpga::MapResult total_overhead() const;
+  /// Lowest Fmax across controllers (the system clock bound).
+  [[nodiscard]] double min_fmax_mhz() const;
+  /// True if every controller meets the target clock.
+  [[nodiscard]] bool meets_target() const;
+
+  /// Creates a cycle-accurate system simulator over this compilation.
+  /// The result must outlive the simulator.
+  [[nodiscard]] std::unique_ptr<sim::SystemSim> make_simulator(
+      sim::SystemOptions sim_options) const;
+  [[nodiscard]] std::unique_ptr<sim::SystemSim> make_simulator() const;
+
+  friend class Compiler;
+
+ private:
+  bool ok_ = false;
+  CompileOptions options_;
+  support::DiagnosticEngine diags_;
+  hic::Program program_;
+  std::unique_ptr<hic::Sema> sema_;
+  std::vector<synth::ThreadFsm> fsms_;
+  memalloc::MemoryMap map_;
+  std::vector<memalloc::BramPortPlan> plans_;
+  rtl::Design design_;
+  std::vector<BramReport> bram_reports_;
+  std::vector<std::string> deadlock_warnings_;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(CompileOptions options = {}) : options_(options) {}
+
+  /// Runs the full flow. Returns a result whose ok() reflects front-end
+  /// and analysis success; on failure the later stages are left empty and
+  /// diags() explains why.
+  [[nodiscard]] std::unique_ptr<CompileResult> compile(
+      std::string_view source) const;
+
+ private:
+  CompileOptions options_;
+};
+
+/// Human-readable compilation report (threads, dependencies, memory map,
+/// per-controller area and timing against the target clock).
+[[nodiscard]] std::string render_report(const CompileResult& result);
+
+}  // namespace hicsync::core

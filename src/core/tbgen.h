@@ -1,0 +1,23 @@
+// Testbench generation for compiled designs.
+//
+// Drives one canonical produce→consume exchange per dependency through the
+// generated controller (via the C++ netlist evaluator) while recording a
+// stimulus/response trace, then emits a self-checking Verilog testbench.
+// Together with CompileResult::verilog() this gives an externally
+// verifiable bundle: any HDL simulator replays the exact transaction the
+// C++ toolchain executed.
+#pragma once
+
+#include <string>
+
+#include "core/compiler.h"
+
+namespace hicsync::core {
+
+/// Returns {dut + testbench} Verilog for the controller of `bram_id`.
+/// Throws std::runtime_error if the id is unknown or the exchange stalls
+/// (which would indicate a generator bug).
+[[nodiscard]] std::string generate_controller_testbench(
+    const CompileResult& result, int bram_id = 0);
+
+}  // namespace hicsync::core

@@ -1,0 +1,25 @@
+#include "fpga/timing.h"
+
+#include <algorithm>
+
+namespace hicsync::fpga {
+
+TimingResult estimate_timing(const MapResult& map, bool launches_from_bram,
+                             const Virtex2ProDevice& device) {
+  TimingResult r;
+  r.logic_levels = map.logic_levels;
+  double launch = launches_from_bram && map.bram_blocks > 0
+                      ? device.t_bram_clk_to_dout_ns
+                      : device.t_clk_to_q_ns;
+  double logic = map.logic_levels * (device.t_lut_ns + device.t_net_ns);
+  double carry = map.max_carry_bits * device.t_carry_per_bit_ns;
+  double capture = launches_from_bram && map.bram_blocks > 0
+                       ? std::max(device.t_setup_ns, device.t_bram_setup_ns)
+                       : device.t_setup_ns;
+  r.critical_path_ns = launch + logic + carry + capture;
+  if (r.critical_path_ns <= 0.0) r.critical_path_ns = device.t_clk_to_q_ns;
+  r.fmax_mhz = 1000.0 / r.critical_path_ns;
+  return r;
+}
+
+}  // namespace hicsync::fpga

@@ -1,0 +1,33 @@
+// Timing / Fmax estimation from a mapped netlist.
+//
+// Substitute for the ISE 6.3 post-place-and-route timing report of §4.
+// The critical register-to-register path is modelled as:
+//   clk→Q  +  levels × (LUT + average net)  +  carry chain  +  setup
+// with BRAM clock-to-dout replacing clk→Q on paths that launch from a BRAM
+// output register (the controllers' read buses do).
+#pragma once
+
+#include "fpga/device.h"
+#include "fpga/techmap.h"
+
+namespace hicsync::fpga {
+
+struct TimingResult {
+  double critical_path_ns = 0.0;
+  double fmax_mhz = 0.0;
+  int logic_levels = 0;
+
+  /// True when fmax meets the given clock target.
+  [[nodiscard]] bool meets(double target_mhz) const {
+    return fmax_mhz >= target_mhz;
+  }
+};
+
+/// Estimates Fmax for a mapped module. `launches_from_bram` selects the
+/// launch element of the critical path (the controllers' read-data paths
+/// start at a BRAM output register).
+[[nodiscard]] TimingResult estimate_timing(
+    const MapResult& map, bool launches_from_bram = true,
+    const Virtex2ProDevice& device = xc2vp20());
+
+}  // namespace hicsync::fpga

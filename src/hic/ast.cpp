@@ -1,0 +1,129 @@
+#include "hic/ast.h"
+
+namespace hicsync::hic {
+
+const char* to_string(PragmaKind k) {
+  switch (k) {
+    case PragmaKind::Interface: return "interface";
+    case PragmaKind::Constant: return "constant";
+    case PragmaKind::Producer: return "producer";
+    case PragmaKind::Consumer: return "consumer";
+  }
+  return "unknown";
+}
+
+const char* to_string(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::Neg: return "-";
+    case UnaryOp::Not: return "!";
+    case UnaryOp::BitNot: return "~";
+  }
+  return "?";
+}
+
+const char* to_string(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+    case BinaryOp::Mod: return "%";
+    case BinaryOp::And: return "&";
+    case BinaryOp::Or: return "|";
+    case BinaryOp::Xor: return "^";
+    case BinaryOp::Shl: return "<<";
+    case BinaryOp::Shr: return ">>";
+    case BinaryOp::LogAnd: return "&&";
+    case BinaryOp::LogOr: return "||";
+    case BinaryOp::Eq: return "==";
+    case BinaryOp::Ne: return "!=";
+    case BinaryOp::Lt: return "<";
+    case BinaryOp::Le: return "<=";
+    case BinaryOp::Gt: return ">";
+    case BinaryOp::Ge: return ">=";
+  }
+  return "?";
+}
+
+ExprPtr Expr::make_int(std::uint64_t v, support::SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::IntLit;
+  e->int_value = v;
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::make_char(std::uint64_t v, support::SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::CharLit;
+  e->int_value = v;
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::make_var(std::string name, support::SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::VarRef;
+  e->name = std::move(name);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::make_unary(UnaryOp op, ExprPtr operand,
+                         support::SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Unary;
+  e->unary_op = op;
+  e->operands.push_back(std::move(operand));
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs,
+                          support::SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Binary;
+  e->binary_op = op;
+  e->operands.push_back(std::move(lhs));
+  e->operands.push_back(std::move(rhs));
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::make_call(std::string callee, std::vector<ExprPtr> args,
+                        support::SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Call;
+  e->name = std::move(callee);
+  e->operands = std::move(args);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::make_index(ExprPtr base, ExprPtr idx, support::SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Index;
+  e->operands.push_back(std::move(base));
+  e->operands.push_back(std::move(idx));
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr Expr::make_member(ExprPtr base, std::string member,
+                          support::SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Member;
+  e->name = std::move(member);
+  e->operands.push_back(std::move(base));
+  e->loc = loc;
+  return e;
+}
+
+const ThreadDecl* Program::find_thread(const std::string& name) const {
+  for (const auto& t : threads) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace hicsync::hic

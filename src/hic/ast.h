@@ -1,0 +1,229 @@
+// Abstract syntax tree for hic programs.
+//
+// Ownership: the Program owns threads and typedefs; statements own nested
+// statements and expressions via unique_ptr. Semantic information (resolved
+// types, symbols) is attached by Sema into the mutable `type`/`symbol`
+// annotation fields; the tree itself is otherwise immutable after parsing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hic/type.h"
+#include "support/source_location.h"
+
+namespace hicsync::hic {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+class Symbol;  // defined in hic/symbol.h
+
+// ---------------------------------------------------------------------------
+// Pragmas
+// ---------------------------------------------------------------------------
+
+/// One [thread, var] endpoint inside a #producer/#consumer pragma.
+struct DepEndpoint {
+  std::string thread;
+  std::string var;
+  support::SourceLoc loc;
+};
+
+enum class PragmaKind {
+  Interface,  // #interface{name, kind}      — top level
+  Constant,   // #constant{name, value}      — top level
+  Producer,   // #producer{id, [t,v]}        — attached to a consuming stmt
+  Consumer,   // #consumer{id, [t,v], ...}   — attached to a producing stmt
+};
+
+[[nodiscard]] const char* to_string(PragmaKind k);
+
+/// A parsed pragma. For Producer/Consumer, `dep_id` is the dependency
+/// identifier (e.g. "mt1") used to match the two sides, and `endpoints`
+/// lists the remote [thread, var] pairs.
+struct Pragma {
+  PragmaKind kind;
+  std::string name;                   // Interface/Constant: first argument
+  std::string value;                  // Interface: kind, Constant: value text
+  std::uint64_t int_value = 0;        // Constant: numeric value if parseable
+  std::string dep_id;                 // Producer/Consumer
+  std::vector<DepEndpoint> endpoints;  // Producer/Consumer
+  support::SourceLoc loc;
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  IntLit,
+  CharLit,
+  VarRef,     // x
+  Index,      // x[e]
+  Member,     // x.f       (union member access)
+  Unary,      // -e !e ~e
+  Binary,     // e op e
+  Call,       // f(e, ...)  — opaque combinational computation
+};
+
+enum class UnaryOp { Neg, Not, BitNot };
+enum class BinaryOp {
+  Add, Sub, Mul, Div, Mod,
+  And, Or, Xor,
+  Shl, Shr,
+  LogAnd, LogOr,
+  Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+[[nodiscard]] const char* to_string(UnaryOp op);
+[[nodiscard]] const char* to_string(BinaryOp op);
+
+struct Expr {
+  ExprKind kind;
+  support::SourceLoc loc;
+
+  // IntLit / CharLit
+  std::uint64_t int_value = 0;
+
+  // VarRef / Member / Call: the referenced name (variable, member, callee).
+  std::string name;
+
+  // Unary / Binary operators.
+  UnaryOp unary_op = UnaryOp::Neg;
+  BinaryOp binary_op = BinaryOp::Add;
+
+  // Operands: Unary/Index/Member use operands[0] (Index also operands[1]
+  // as the subscript); Binary uses operands[0], operands[1]; Call uses all.
+  std::vector<ExprPtr> operands;
+
+  // --- Sema annotations ---
+  const Type* type = nullptr;
+  Symbol* symbol = nullptr;  // for VarRef and the base of Index/Member
+
+  [[nodiscard]] static ExprPtr make_int(std::uint64_t v,
+                                        support::SourceLoc loc);
+  [[nodiscard]] static ExprPtr make_char(std::uint64_t v,
+                                         support::SourceLoc loc);
+  [[nodiscard]] static ExprPtr make_var(std::string name,
+                                        support::SourceLoc loc);
+  [[nodiscard]] static ExprPtr make_unary(UnaryOp op, ExprPtr e,
+                                          support::SourceLoc loc);
+  [[nodiscard]] static ExprPtr make_binary(BinaryOp op, ExprPtr lhs,
+                                           ExprPtr rhs,
+                                           support::SourceLoc loc);
+  [[nodiscard]] static ExprPtr make_call(std::string callee,
+                                         std::vector<ExprPtr> args,
+                                         support::SourceLoc loc);
+  [[nodiscard]] static ExprPtr make_index(ExprPtr base, ExprPtr idx,
+                                          support::SourceLoc loc);
+  [[nodiscard]] static ExprPtr make_member(ExprPtr base, std::string member,
+                                           support::SourceLoc loc);
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+  Assign,    // lvalue = expr ;
+  If,        // if (cond) then_stmts else else_stmts
+  Case,      // case (expr) { when K: ... default: ... }
+  For,       // for (init; cond; step) body
+  While,     // while (cond) body
+  Break,
+  Continue,
+  Block,     // { ... }
+};
+
+struct CaseArm {
+  bool is_default = false;
+  std::uint64_t value = 0;  // matched constant when !is_default
+  support::SourceLoc loc;
+  std::vector<StmtPtr> body;
+};
+
+struct Stmt {
+  StmtKind kind;
+  support::SourceLoc loc;
+
+  /// Producer/Consumer pragmas written immediately before this statement.
+  std::vector<Pragma> pragmas;
+
+  // Assign
+  ExprPtr target;  // VarRef / Index / Member lvalue
+  ExprPtr value;
+
+  // If / While / Case / For (condition or scrutinee)
+  ExprPtr cond;
+
+  // If
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;
+
+  // Case
+  std::vector<CaseArm> arms;
+
+  // For
+  StmtPtr init;  // Assign
+  StmtPtr step;  // Assign
+
+  // While / For / Block body
+  std::vector<StmtPtr> body;
+};
+
+// ---------------------------------------------------------------------------
+// Declarations and program
+// ---------------------------------------------------------------------------
+
+/// One declared variable (possibly an array) inside a thread.
+struct VarDecl {
+  std::string name;
+  std::string type_name;       // as written; resolved by Sema
+  int bits_width = 0;          // for bits<N> spelled inline
+  std::uint64_t array_size = 0;  // 0 = scalar
+  support::SourceLoc loc;
+
+  // --- Sema annotations ---
+  const Type* type = nullptr;
+  Symbol* symbol = nullptr;
+};
+
+/// A user type definition: `type name = bits<N>;` or a union.
+struct TypeDef {
+  std::string name;
+  bool is_union = false;
+  int bits_width = 0;  // for the alias form
+  struct Member {
+    std::string type_name;
+    int bits_width = 0;
+    std::string name;
+  };
+  std::vector<Member> members;  // for the union form
+  support::SourceLoc loc;
+};
+
+/// One hardware thread. Per §2, each thread is synthesized into logic and
+/// runs to completion processing one message at a time.
+struct ThreadDecl {
+  std::string name;
+  std::vector<VarDecl> decls;
+  std::vector<StmtPtr> body;
+  support::SourceLoc loc;
+};
+
+/// A whole hic translation unit.
+struct Program {
+  std::vector<Pragma> interfaces;  // #interface pragmas
+  std::vector<Pragma> constants;   // #constant pragmas
+  std::vector<TypeDef> typedefs;
+  std::vector<ThreadDecl> threads;
+
+  [[nodiscard]] const ThreadDecl* find_thread(const std::string& name) const;
+};
+
+}  // namespace hicsync::hic

@@ -1,0 +1,190 @@
+#include "hic/infer.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace hicsync::hic {
+namespace {
+
+/// Visits every statement in a body, recursively.
+template <typename Fn>
+void for_each_stmt(std::vector<StmtPtr>& body, Fn&& fn) {
+  for (auto& s : body) {
+    fn(*s);
+    for_each_stmt(s->then_body, fn);
+    for_each_stmt(s->else_body, fn);
+    for_each_stmt(s->body, fn);
+    for (auto& arm : s->arms) for_each_stmt(arm.body, fn);
+    if (s->init) {
+      fn(*s->init);
+    }
+    if (s->step) {
+      fn(*s->step);
+    }
+  }
+}
+
+/// Collects the variable names read inside an expression.
+void collect_reads(const Expr& e, std::set<std::string>& names) {
+  if (e.kind == ExprKind::VarRef) {
+    names.insert(e.name);
+    return;
+  }
+  if (e.kind == ExprKind::Index) {
+    collect_reads(*e.operands[0], names);
+    collect_reads(*e.operands[1], names);
+    return;
+  }
+  if (e.kind == ExprKind::Member) {
+    collect_reads(*e.operands[0], names);
+    return;
+  }
+  for (const auto& op : e.operands) collect_reads(*op, names);
+}
+
+/// Root variable of an lvalue.
+const std::string* target_root(const Expr& target) {
+  const Expr* root = &target;
+  while (root->kind == ExprKind::Index || root->kind == ExprKind::Member) {
+    root = root->operands[0].get();
+  }
+  return root->kind == ExprKind::VarRef ? &root->name : nullptr;
+}
+
+}  // namespace
+
+InferenceResult infer_dependencies(Program& program,
+                                   support::DiagnosticEngine& diags) {
+  InferenceResult result;
+
+  // Declared names per thread; assignment sites per (thread, name).
+  std::map<std::string, std::set<std::string>> decls;
+  std::map<std::string, std::map<std::string, std::vector<Stmt*>>> writes;
+  for (auto& thread : program.threads) {
+    for (const VarDecl& d : thread.decls) {
+      decls[thread.name].insert(d.name);
+    }
+    for_each_stmt(thread.body, [&](Stmt& s) {
+      if (s.kind != StmtKind::Assign) return;
+      const std::string* root = target_root(*s.target);
+      if (root != nullptr && decls[thread.name].count(*root) != 0) {
+        writes[thread.name][*root].push_back(&s);
+      }
+    });
+  }
+
+  // Variables already covered by explicit pragmas are out of scope.
+  std::set<std::pair<std::string, std::string>> annotated;  // (thread, var)
+  for (auto& thread : program.threads) {
+    for_each_stmt(thread.body, [&](Stmt& s) {
+      for (const Pragma& p : s.pragmas) {
+        if (p.kind == PragmaKind::Producer) {
+          for (const DepEndpoint& ep : p.endpoints) {
+            annotated.insert({ep.thread, ep.var});
+          }
+        } else if (p.kind == PragmaKind::Consumer) {
+          const std::string* root = target_root(*s.target);
+          if (root != nullptr) annotated.insert({thread.name, *root});
+        }
+      }
+    });
+  }
+
+  for (auto& thread : program.threads) {
+    for_each_stmt(thread.body, [&](Stmt& stmt) {
+      if (stmt.kind != StmtKind::Assign) return;
+      std::set<std::string> reads;
+      collect_reads(*stmt.value, reads);
+      if (stmt.target->kind == ExprKind::Index) {
+        collect_reads(*stmt.target->operands[1], reads);
+      }
+      for (const std::string& name : reads) {
+        if (decls[thread.name].count(name) != 0) continue;  // local
+        // Find the declaring thread(s).
+        std::vector<std::string> owners;
+        for (const auto& t : program.threads) {
+          if (t.name != thread.name && decls[t.name].count(name) != 0) {
+            owners.push_back(t.name);
+          }
+        }
+        if (owners.empty()) continue;  // Sema will report the unknown name.
+        if (owners.size() > 1) {
+          diags.error(stmt.loc,
+                      "cannot infer producer of '" + name +
+                          "': declared by multiple threads; annotate with "
+                          "#producer/#consumer pragmas");
+          continue;
+        }
+        const std::string& producer_thread = owners[0];
+        if (annotated.count({producer_thread, name}) != 0) continue;
+        auto& sites = writes[producer_thread][name];
+        if (sites.empty()) {
+          diags.error(stmt.loc, "cannot infer producer of '" + name +
+                                    "': thread '" + producer_thread +
+                                    "' never assigns it");
+          continue;
+        }
+        if (sites.size() > 1) {
+          diags.error(stmt.loc,
+                      "cannot infer producer of '" + name + "': thread '" +
+                          producer_thread +
+                          "' assigns it in several statements; use explicit "
+                          "pragmas with distinct dependency ids");
+          continue;
+        }
+        const std::string* dest = target_root(*stmt.target);
+        if (dest == nullptr) continue;
+        std::string dep_id = "auto_" + producer_thread + "_" + name;
+
+        // Consumer side: a #producer pragma on this statement.
+        bool already = false;
+        for (const Pragma& p : stmt.pragmas) {
+          if (p.kind == PragmaKind::Producer && p.dep_id == dep_id) {
+            already = true;
+          }
+        }
+        if (!already) {
+          Pragma p;
+          p.kind = PragmaKind::Producer;
+          p.dep_id = dep_id;
+          p.endpoints.push_back(DepEndpoint{producer_thread, name, stmt.loc});
+          p.loc = stmt.loc;
+          stmt.pragmas.push_back(std::move(p));
+        }
+
+        // Producer side: extend/create the #consumer pragma.
+        Stmt& produce = *sites[0];
+        Pragma* consumer_pragma = nullptr;
+        for (Pragma& p : produce.pragmas) {
+          if (p.kind == PragmaKind::Consumer && p.dep_id == dep_id) {
+            consumer_pragma = &p;
+          }
+        }
+        if (consumer_pragma == nullptr) {
+          Pragma p;
+          p.kind = PragmaKind::Consumer;
+          p.dep_id = dep_id;
+          p.loc = produce.loc;
+          produce.pragmas.push_back(std::move(p));
+          consumer_pragma = &produce.pragmas.back();
+          ++result.inferred_dependencies;
+        }
+        bool endpoint_exists = false;
+        for (const DepEndpoint& ep : consumer_pragma->endpoints) {
+          if (ep.thread == thread.name && ep.var == *dest) {
+            endpoint_exists = true;
+          }
+        }
+        if (!endpoint_exists) {
+          consumer_pragma->endpoints.push_back(
+              DepEndpoint{thread.name, *dest, stmt.loc});
+          ++result.consumer_endpoints;
+        }
+      }
+    });
+  }
+  return result;
+}
+
+}  // namespace hicsync::hic

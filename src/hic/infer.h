@@ -1,0 +1,36 @@
+// Automatic producer/consumer inference.
+//
+// §2: "It is important to note that the particular syntax used here is not
+// central to our techniques ... In practice, one can use standard compiler
+// use-def analysis [7] and other lifetime analysis methods [9] to extract
+// producers and consumers from a given specification."
+//
+// This pass implements that alternative: a program written *without*
+// #producer/#consumer pragmas has its cross-thread reads resolved by
+// definition analysis, and the equivalent pragmas are injected into the
+// AST so the rest of the flow (Sema binding, allocation, generation) runs
+// unchanged. Inference requirements (diagnosed otherwise):
+//   * a cross-thread name must be declared by exactly one other thread;
+//   * the producing thread must assign it in exactly one statement
+//     (several produce sites need explicit pragmas with distinct ids);
+//   * the consuming reference must appear in an assignment's right-hand
+//     side (consumer reads in bare conditions are not inferable).
+#pragma once
+
+#include "hic/ast.h"
+#include "support/diagnostics.h"
+
+namespace hicsync::hic {
+
+struct InferenceResult {
+  int inferred_dependencies = 0;
+  int consumer_endpoints = 0;
+};
+
+/// Scans `program` and injects pragmas for cross-thread reads that carry
+/// no explicit annotation. Existing pragmas are left untouched and their
+/// variables are skipped. Returns counts; errors go to `diags`.
+InferenceResult infer_dependencies(Program& program,
+                                   support::DiagnosticEngine& diags);
+
+}  // namespace hicsync::hic

@@ -1,0 +1,260 @@
+#include "hic/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace hicsync::hic {
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keyword_table() {
+  static const std::unordered_map<std::string_view, TokenKind> table = {
+      {"thread", TokenKind::KwThread},   {"int", TokenKind::KwInt},
+      {"char", TokenKind::KwChar},       {"message", TokenKind::KwMessage},
+      {"bits", TokenKind::KwBits},       {"type", TokenKind::KwType},
+      {"union", TokenKind::KwUnion},     {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},       {"case", TokenKind::KwCase},
+      {"when", TokenKind::KwWhen},       {"default", TokenKind::KwDefault},
+      {"for", TokenKind::KwFor},         {"while", TokenKind::KwWhile},
+      {"break", TokenKind::KwBreak},     {"continue", TokenKind::KwContinue},
+  };
+  return table;
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string_view source, support::DiagnosticEngine& diags)
+    : source_(source), diags_(diags) {}
+
+char Lexer::peek(std::size_t ahead) const {
+  return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+support::SourceLoc Lexer::here() const {
+  return support::SourceLoc{line_, col_, static_cast<std::uint32_t>(pos_)};
+}
+
+void Lexer::skip_trivia() {
+  while (!at_end()) {
+    char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      support::SourceLoc start = here();
+      advance();
+      advance();
+      bool closed = false;
+      while (!at_end()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!closed) diags_.error(start, "unterminated block comment");
+    } else {
+      break;
+    }
+  }
+}
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> tokens;
+  while (true) {
+    skip_trivia();
+    if (at_end()) {
+      tokens.push_back(Token{TokenKind::EndOfFile, "", 0, here()});
+      break;
+    }
+    tokens.push_back(lex_token());
+  }
+  return tokens;
+}
+
+Token Lexer::lex_token() {
+  support::SourceLoc loc = here();
+  char c = peek();
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    return lex_identifier_or_keyword();
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    return lex_number();
+  }
+  if (c == '\'') {
+    return lex_char_literal();
+  }
+
+  advance();
+  auto two = [&](char second, TokenKind with, TokenKind without) {
+    if (peek() == second) {
+      advance();
+      return with;
+    }
+    return without;
+  };
+
+  TokenKind kind;
+  switch (c) {
+    case '(': kind = TokenKind::LParen; break;
+    case ')': kind = TokenKind::RParen; break;
+    case '{': kind = TokenKind::LBrace; break;
+    case '}': kind = TokenKind::RBrace; break;
+    case '[': kind = TokenKind::LBracket; break;
+    case ']': kind = TokenKind::RBracket; break;
+    case ',': kind = TokenKind::Comma; break;
+    case ';': kind = TokenKind::Semicolon; break;
+    case ':': kind = TokenKind::Colon; break;
+    case '.': kind = TokenKind::Dot; break;
+    case '#': kind = TokenKind::Hash; break;
+    case '+': kind = TokenKind::Plus; break;
+    case '-': kind = TokenKind::Minus; break;
+    case '*': kind = TokenKind::Star; break;
+    case '/': kind = TokenKind::Slash; break;
+    case '%': kind = TokenKind::Percent; break;
+    case '^': kind = TokenKind::Caret; break;
+    case '~': kind = TokenKind::Tilde; break;
+    case '&': kind = two('&', TokenKind::AmpAmp, TokenKind::Amp); break;
+    case '|': kind = two('|', TokenKind::PipePipe, TokenKind::Pipe); break;
+    case '=': kind = two('=', TokenKind::EqEq, TokenKind::Assign); break;
+    case '!': kind = two('=', TokenKind::NotEq, TokenKind::Bang); break;
+    case '<':
+      if (peek() == '<') {
+        advance();
+        kind = TokenKind::Shl;
+      } else {
+        kind = two('=', TokenKind::LessEq, TokenKind::Less);
+      }
+      break;
+    case '>':
+      if (peek() == '>') {
+        advance();
+        kind = TokenKind::Shr;
+      } else {
+        kind = two('=', TokenKind::GreaterEq, TokenKind::Greater);
+      }
+      break;
+    default:
+      diags_.error(loc, std::string("unexpected character '") + c + "'");
+      // Resynchronize by skipping the character and lexing the next one.
+      skip_trivia();
+      if (at_end()) return Token{TokenKind::EndOfFile, "", 0, here()};
+      return lex_token();
+  }
+  return Token{kind, std::string(1, c), 0, loc};
+}
+
+Token Lexer::lex_identifier_or_keyword() {
+  support::SourceLoc loc = here();
+  std::string text;
+  while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                       peek() == '_')) {
+    text += advance();
+  }
+  auto it = keyword_table().find(text);
+  if (it != keyword_table().end()) {
+    return Token{it->second, std::move(text), 0, loc};
+  }
+  return Token{TokenKind::Identifier, std::move(text), 0, loc};
+}
+
+Token Lexer::lex_number() {
+  support::SourceLoc loc = here();
+  std::string text;
+  std::uint64_t value = 0;
+  int base = 10;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    text += advance();
+    text += advance();
+    base = 16;
+  } else if (peek() == '0' && (peek(1) == 'b' || peek(1) == 'B')) {
+    text += advance();
+    text += advance();
+    base = 2;
+  }
+  bool any_digit = false;
+  while (!at_end()) {
+    char c = peek();
+    if (c == '\'') {  // digit separator
+      advance();
+      continue;
+    }
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      break;
+    }
+    if (digit >= base) {
+      if (base == 10 && std::isalpha(static_cast<unsigned char>(c))) break;
+      diags_.error(here(), "invalid digit for base");
+      advance();
+      continue;
+    }
+    value = value * static_cast<std::uint64_t>(base) +
+            static_cast<std::uint64_t>(digit);
+    text += advance();
+    any_digit = true;
+  }
+  if (!any_digit) diags_.error(loc, "integer literal has no digits");
+  return Token{TokenKind::IntLiteral, std::move(text), value, loc};
+}
+
+Token Lexer::lex_char_literal() {
+  support::SourceLoc loc = here();
+  advance();  // opening quote
+  std::uint64_t value = 0;
+  std::string text = "'";
+  if (at_end()) {
+    diags_.error(loc, "unterminated character literal");
+    return Token{TokenKind::CharLiteral, text, 0, loc};
+  }
+  char c = advance();
+  text += c;
+  if (c == '\\') {
+    if (at_end()) {
+      diags_.error(loc, "unterminated character literal");
+      return Token{TokenKind::CharLiteral, text, 0, loc};
+    }
+    char esc = advance();
+    text += esc;
+    switch (esc) {
+      case 'n': value = '\n'; break;
+      case 't': value = '\t'; break;
+      case 'r': value = '\r'; break;
+      case '0': value = '\0'; break;
+      case '\\': value = '\\'; break;
+      case '\'': value = '\''; break;
+      default:
+        diags_.error(loc, "unknown escape sequence");
+        value = static_cast<unsigned char>(esc);
+    }
+  } else {
+    value = static_cast<unsigned char>(c);
+  }
+  if (!at_end() && peek() == '\'') {
+    text += advance();
+  } else {
+    diags_.error(loc, "unterminated character literal");
+  }
+  return Token{TokenKind::CharLiteral, std::move(text), value, loc};
+}
+
+}  // namespace hicsync::hic

@@ -1,0 +1,42 @@
+// Hand-written lexer for hic.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hic/token.h"
+#include "support/diagnostics.h"
+
+namespace hicsync::hic {
+
+/// Tokenizes a hic source buffer. Comments: `//` to end of line and
+/// `/* ... */` (non-nesting). Integer literals: decimal, 0x hex, 0b binary,
+/// with optional `'` digit separators. Char literals: 'a', '\n', '\\', '\0'.
+class Lexer {
+ public:
+  Lexer(std::string_view source, support::DiagnosticEngine& diags);
+
+  /// Lex the whole buffer; always ends with an EndOfFile token.
+  [[nodiscard]] std::vector<Token> lex_all();
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= source_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const;
+  char advance();
+  [[nodiscard]] support::SourceLoc here() const;
+
+  void skip_trivia();
+  Token lex_token();
+  Token lex_identifier_or_keyword();
+  Token lex_number();
+  Token lex_char_literal();
+
+  std::string_view source_;
+  support::DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+}  // namespace hicsync::hic

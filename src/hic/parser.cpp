@@ -1,0 +1,590 @@
+#include "hic/parser.h"
+
+#include "hic/lexer.h"
+
+namespace hicsync::hic {
+namespace {
+
+/// Binary operator precedence; higher binds tighter. Returns -1 for tokens
+/// that are not binary operators.
+int binary_precedence(TokenKind k) {
+  switch (k) {
+    case TokenKind::PipePipe: return 1;
+    case TokenKind::AmpAmp: return 2;
+    case TokenKind::Pipe: return 3;
+    case TokenKind::Caret: return 4;
+    case TokenKind::Amp: return 5;
+    case TokenKind::EqEq:
+    case TokenKind::NotEq: return 6;
+    case TokenKind::Less:
+    case TokenKind::LessEq:
+    case TokenKind::Greater:
+    case TokenKind::GreaterEq: return 7;
+    case TokenKind::Shl:
+    case TokenKind::Shr: return 8;
+    case TokenKind::Plus:
+    case TokenKind::Minus: return 9;
+    case TokenKind::Star:
+    case TokenKind::Slash:
+    case TokenKind::Percent: return 10;
+    default: return -1;
+  }
+}
+
+BinaryOp to_binary_op(TokenKind k) {
+  switch (k) {
+    case TokenKind::PipePipe: return BinaryOp::LogOr;
+    case TokenKind::AmpAmp: return BinaryOp::LogAnd;
+    case TokenKind::Pipe: return BinaryOp::Or;
+    case TokenKind::Caret: return BinaryOp::Xor;
+    case TokenKind::Amp: return BinaryOp::And;
+    case TokenKind::EqEq: return BinaryOp::Eq;
+    case TokenKind::NotEq: return BinaryOp::Ne;
+    case TokenKind::Less: return BinaryOp::Lt;
+    case TokenKind::LessEq: return BinaryOp::Le;
+    case TokenKind::Greater: return BinaryOp::Gt;
+    case TokenKind::GreaterEq: return BinaryOp::Ge;
+    case TokenKind::Shl: return BinaryOp::Shl;
+    case TokenKind::Shr: return BinaryOp::Shr;
+    case TokenKind::Plus: return BinaryOp::Add;
+    case TokenKind::Minus: return BinaryOp::Sub;
+    case TokenKind::Star: return BinaryOp::Mul;
+    case TokenKind::Slash: return BinaryOp::Div;
+    case TokenKind::Percent: return BinaryOp::Mod;
+    default: return BinaryOp::Add;  // unreachable given binary_precedence
+  }
+}
+
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens, support::DiagnosticEngine& diags)
+    : tokens_(std::move(tokens)), diags_(diags) {
+  if (tokens_.empty()) {
+    tokens_.push_back(Token{TokenKind::EndOfFile, "", 0, {}});
+  }
+}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  std::size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) return tokens_.back();
+  return tokens_[i];
+}
+
+const Token& Parser::advance() {
+  const Token& t = peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::accept(TokenKind k) {
+  if (at(k)) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+const Token& Parser::expect(TokenKind k, const char* context) {
+  if (at(k)) return advance();
+  diags_.error(peek().loc, std::string("expected ") + to_string(k) +
+                               " in " + context + ", found " + peek().str());
+  throw support::CompileError(peek().loc, "parse error");
+}
+
+bool Parser::at_typespec() const {
+  switch (peek().kind) {
+    case TokenKind::KwInt:
+    case TokenKind::KwChar:
+    case TokenKind::KwMessage:
+    case TokenKind::KwBits:
+      return true;
+    case TokenKind::Identifier:
+      // `IDENT IDENT` at statement level can only be a declaration with a
+      // user-defined type (assignments start with `IDENT =`/`[`/`.`).
+      return peek(1).kind == TokenKind::Identifier;
+    default:
+      return false;
+  }
+}
+
+Program Parser::parse_program() {
+  Program program;
+  while (!at(TokenKind::EndOfFile)) {
+    try {
+      if (at(TokenKind::Hash)) {
+        Pragma p = parse_pragma();
+        switch (p.kind) {
+          case PragmaKind::Interface:
+            program.interfaces.push_back(std::move(p));
+            break;
+          case PragmaKind::Constant:
+            program.constants.push_back(std::move(p));
+            break;
+          default:
+            diags_.error(p.loc,
+                         "producer/consumer pragmas must appear inside a "
+                         "thread, before the statement they annotate");
+        }
+      } else if (at(TokenKind::KwType)) {
+        program.typedefs.push_back(parse_typedef());
+      } else if (at(TokenKind::KwUnion)) {
+        program.typedefs.push_back(parse_union());
+      } else if (at(TokenKind::KwThread)) {
+        program.threads.push_back(parse_thread());
+      } else {
+        diags_.error(peek().loc,
+                     "expected 'thread', 'type', 'union', or a pragma at top "
+                     "level, found " +
+                         peek().str());
+        advance();
+      }
+    } catch (const support::CompileError&) {
+      // Recover: skip to the next plausible top-level start.
+      while (!at(TokenKind::EndOfFile) && !at(TokenKind::KwThread) &&
+             !at(TokenKind::KwType) && !at(TokenKind::KwUnion) &&
+             !at(TokenKind::Hash)) {
+        advance();
+      }
+    }
+  }
+  return program;
+}
+
+Pragma Parser::parse_pragma() {
+  Pragma p;
+  p.loc = expect(TokenKind::Hash, "pragma").loc;
+  const Token& name = expect(TokenKind::Identifier, "pragma");
+  if (name.text == "interface") {
+    p.kind = PragmaKind::Interface;
+  } else if (name.text == "constant") {
+    p.kind = PragmaKind::Constant;
+  } else if (name.text == "producer") {
+    p.kind = PragmaKind::Producer;
+  } else if (name.text == "consumer") {
+    p.kind = PragmaKind::Consumer;
+  } else {
+    diags_.error(name.loc, "unknown pragma '#" + name.text + "'");
+    throw support::CompileError(name.loc, "parse error");
+  }
+  expect(TokenKind::LBrace, "pragma");
+
+  if (p.kind == PragmaKind::Interface || p.kind == PragmaKind::Constant) {
+    p.name = expect(TokenKind::Identifier, "pragma").text;
+    expect(TokenKind::Comma, "pragma");
+    // Value may be an identifier (interface kind) or a literal (constant).
+    const Token& v = peek();
+    if (v.is(TokenKind::Identifier)) {
+      p.value = advance().text;
+    } else if (v.is(TokenKind::IntLiteral) || v.is(TokenKind::CharLiteral)) {
+      const Token& lit = advance();
+      p.value = lit.text;
+      p.int_value = lit.int_value;
+    } else {
+      diags_.error(v.loc, "expected pragma value");
+      throw support::CompileError(v.loc, "parse error");
+    }
+  } else {
+    // #producer{id, [thread,var]} / #consumer{id, [t,v], [t,v], ...}
+    p.dep_id = expect(TokenKind::Identifier, "dependency pragma").text;
+    while (accept(TokenKind::Comma)) {
+      DepEndpoint ep;
+      ep.loc = expect(TokenKind::LBracket, "dependency endpoint").loc;
+      ep.thread = expect(TokenKind::Identifier, "dependency endpoint").text;
+      expect(TokenKind::Comma, "dependency endpoint");
+      ep.var = expect(TokenKind::Identifier, "dependency endpoint").text;
+      expect(TokenKind::RBracket, "dependency endpoint");
+      p.endpoints.push_back(std::move(ep));
+    }
+    if (p.endpoints.empty()) {
+      diags_.error(p.loc, "dependency pragma needs at least one [thread,var] "
+                          "endpoint");
+    }
+    if (p.kind == PragmaKind::Producer && p.endpoints.size() != 1) {
+      diags_.error(p.loc,
+                   "#producer names exactly one producing [thread,var]");
+    }
+  }
+  expect(TokenKind::RBrace, "pragma");
+  return p;
+}
+
+void Parser::parse_typespec(std::string& type_name, int& bits_width) {
+  bits_width = 0;
+  const Token& t = peek();
+  switch (t.kind) {
+    case TokenKind::KwInt:
+      type_name = "int";
+      advance();
+      return;
+    case TokenKind::KwChar:
+      type_name = "char";
+      advance();
+      return;
+    case TokenKind::KwMessage:
+      type_name = "message";
+      advance();
+      return;
+    case TokenKind::KwBits: {
+      advance();
+      expect(TokenKind::Less, "bits type");
+      const Token& w = expect(TokenKind::IntLiteral, "bits type");
+      if (w.int_value == 0 || w.int_value > 4096) {
+        diags_.error(w.loc, "bits<N> width must be in [1, 4096]");
+      }
+      bits_width = static_cast<int>(w.int_value);
+      type_name = "bits";
+      expect(TokenKind::Greater, "bits type");
+      return;
+    }
+    case TokenKind::Identifier:
+      type_name = advance().text;
+      return;
+    default:
+      diags_.error(t.loc, "expected a type, found " + t.str());
+      throw support::CompileError(t.loc, "parse error");
+  }
+}
+
+TypeDef Parser::parse_typedef() {
+  TypeDef td;
+  td.loc = expect(TokenKind::KwType, "type definition").loc;
+  td.name = expect(TokenKind::Identifier, "type definition").text;
+  expect(TokenKind::Assign, "type definition");
+  std::string base;
+  parse_typespec(base, td.bits_width);
+  if (base != "bits") {
+    // Alias of a named type: store name in members[0] for Sema to resolve.
+    TypeDef::Member m;
+    m.type_name = base;
+    td.members.push_back(std::move(m));
+  }
+  expect(TokenKind::Semicolon, "type definition");
+  return td;
+}
+
+TypeDef Parser::parse_union() {
+  TypeDef td;
+  td.is_union = true;
+  td.loc = expect(TokenKind::KwUnion, "union").loc;
+  td.name = expect(TokenKind::Identifier, "union").text;
+  expect(TokenKind::LBrace, "union");
+  while (!at(TokenKind::RBrace) && !at(TokenKind::EndOfFile)) {
+    TypeDef::Member m;
+    parse_typespec(m.type_name, m.bits_width);
+    m.name = expect(TokenKind::Identifier, "union member").text;
+    expect(TokenKind::Semicolon, "union member");
+    td.members.push_back(std::move(m));
+  }
+  expect(TokenKind::RBrace, "union");
+  accept(TokenKind::Semicolon);
+  if (td.members.empty()) diags_.error(td.loc, "union has no members");
+  return td;
+}
+
+ThreadDecl Parser::parse_thread() {
+  ThreadDecl thread;
+  thread.loc = expect(TokenKind::KwThread, "thread").loc;
+  thread.name = expect(TokenKind::Identifier, "thread").text;
+  expect(TokenKind::LParen, "thread");
+  expect(TokenKind::RParen, "thread");
+  expect(TokenKind::LBrace, "thread");
+  while (!at(TokenKind::RBrace) && !at(TokenKind::EndOfFile)) {
+    if (at_typespec()) {
+      parse_decl(thread);
+    } else {
+      thread.body.push_back(parse_stmt());
+    }
+  }
+  expect(TokenKind::RBrace, "thread");
+  return thread;
+}
+
+VarDecl Parser::parse_one_declarator(const std::string& type_name,
+                                     int bits_width) {
+  VarDecl d;
+  d.type_name = type_name;
+  d.bits_width = bits_width;
+  const Token& n = expect(TokenKind::Identifier, "declaration");
+  d.name = n.text;
+  d.loc = n.loc;
+  if (accept(TokenKind::LBracket)) {
+    const Token& sz = expect(TokenKind::IntLiteral, "array declaration");
+    if (sz.int_value == 0) {
+      diags_.error(sz.loc, "array size must be positive");
+    }
+    d.array_size = sz.int_value;
+    expect(TokenKind::RBracket, "array declaration");
+  }
+  return d;
+}
+
+void Parser::parse_decl(ThreadDecl& thread) {
+  std::string type_name;
+  int bits_width = 0;
+  parse_typespec(type_name, bits_width);
+  thread.decls.push_back(parse_one_declarator(type_name, bits_width));
+  while (accept(TokenKind::Comma)) {
+    thread.decls.push_back(parse_one_declarator(type_name, bits_width));
+  }
+  expect(TokenKind::Semicolon, "declaration");
+}
+
+StmtPtr Parser::parse_stmt() {
+  std::vector<Pragma> pragmas;
+  while (at(TokenKind::Hash)) {
+    Pragma p = parse_pragma();
+    if (p.kind != PragmaKind::Producer && p.kind != PragmaKind::Consumer) {
+      diags_.error(p.loc, "only #producer/#consumer pragmas may annotate a "
+                          "statement");
+      continue;
+    }
+    pragmas.push_back(std::move(p));
+  }
+  StmtPtr s = parse_core_stmt();
+  s->pragmas = std::move(pragmas);
+  return s;
+}
+
+StmtPtr Parser::parse_core_stmt() {
+  switch (peek().kind) {
+    case TokenKind::KwIf: return parse_if();
+    case TokenKind::KwCase: return parse_case();
+    case TokenKind::KwFor: return parse_for();
+    case TokenKind::KwWhile: return parse_while();
+    case TokenKind::LBrace: return parse_block();
+    case TokenKind::KwBreak: {
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::Break;
+      s->loc = advance().loc;
+      expect(TokenKind::Semicolon, "break statement");
+      return s;
+    }
+    case TokenKind::KwContinue: {
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::Continue;
+      s->loc = advance().loc;
+      expect(TokenKind::Semicolon, "continue statement");
+      return s;
+    }
+    case TokenKind::Identifier:
+      return parse_assign(/*expect_semicolon=*/true);
+    default:
+      diags_.error(peek().loc, "expected a statement, found " + peek().str());
+      throw support::CompileError(peek().loc, "parse error");
+  }
+}
+
+StmtPtr Parser::parse_assign(bool expect_semicolon) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Assign;
+  const Token& name = expect(TokenKind::Identifier, "assignment");
+  s->loc = name.loc;
+  ExprPtr lhs = Expr::make_var(name.text, name.loc);
+  // lvalue suffixes: [expr] and .member
+  while (true) {
+    if (at(TokenKind::LBracket)) {
+      support::SourceLoc loc = advance().loc;
+      ExprPtr idx = parse_expr();
+      expect(TokenKind::RBracket, "index expression");
+      lhs = Expr::make_index(std::move(lhs), std::move(idx), loc);
+    } else if (at(TokenKind::Dot)) {
+      support::SourceLoc loc = advance().loc;
+      const Token& member = expect(TokenKind::Identifier, "member access");
+      lhs = Expr::make_member(std::move(lhs), member.text, loc);
+    } else {
+      break;
+    }
+  }
+  s->target = std::move(lhs);
+  expect(TokenKind::Assign, "assignment");
+  s->value = parse_expr();
+  if (expect_semicolon) expect(TokenKind::Semicolon, "assignment");
+  return s;
+}
+
+StmtPtr Parser::parse_if() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::If;
+  s->loc = expect(TokenKind::KwIf, "if statement").loc;
+  expect(TokenKind::LParen, "if statement");
+  s->cond = parse_expr();
+  expect(TokenKind::RParen, "if statement");
+  s->then_body.push_back(parse_stmt());
+  if (accept(TokenKind::KwElse)) {
+    s->else_body.push_back(parse_stmt());
+  }
+  return s;
+}
+
+StmtPtr Parser::parse_case() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Case;
+  s->loc = expect(TokenKind::KwCase, "case statement").loc;
+  expect(TokenKind::LParen, "case statement");
+  s->cond = parse_expr();
+  expect(TokenKind::RParen, "case statement");
+  expect(TokenKind::LBrace, "case statement");
+  bool seen_default = false;
+  while (!at(TokenKind::RBrace) && !at(TokenKind::EndOfFile)) {
+    CaseArm arm;
+    if (at(TokenKind::KwWhen)) {
+      arm.loc = advance().loc;
+      const Token& v = expect(TokenKind::IntLiteral, "case arm");
+      arm.value = v.int_value;
+    } else if (at(TokenKind::KwDefault)) {
+      arm.loc = advance().loc;
+      arm.is_default = true;
+      if (seen_default) diags_.error(arm.loc, "duplicate default arm");
+      seen_default = true;
+    } else {
+      diags_.error(peek().loc,
+                   "expected 'when' or 'default' in case statement");
+      throw support::CompileError(peek().loc, "parse error");
+    }
+    expect(TokenKind::Colon, "case arm");
+    while (!at(TokenKind::KwWhen) && !at(TokenKind::KwDefault) &&
+           !at(TokenKind::RBrace) && !at(TokenKind::EndOfFile)) {
+      arm.body.push_back(parse_stmt());
+    }
+    // Duplicate 'when' values are checked by Sema, which sees all arms.
+    s->arms.push_back(std::move(arm));
+  }
+  expect(TokenKind::RBrace, "case statement");
+  if (s->arms.empty()) diags_.error(s->loc, "case statement has no arms");
+  return s;
+}
+
+StmtPtr Parser::parse_for() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::For;
+  s->loc = expect(TokenKind::KwFor, "for loop").loc;
+  expect(TokenKind::LParen, "for loop");
+  s->init = parse_assign(/*expect_semicolon=*/true);
+  s->cond = parse_expr();
+  expect(TokenKind::Semicolon, "for loop");
+  s->step = parse_assign(/*expect_semicolon=*/false);
+  expect(TokenKind::RParen, "for loop");
+  s->body.push_back(parse_stmt());
+  return s;
+}
+
+StmtPtr Parser::parse_while() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::While;
+  s->loc = expect(TokenKind::KwWhile, "while loop").loc;
+  expect(TokenKind::LParen, "while loop");
+  s->cond = parse_expr();
+  expect(TokenKind::RParen, "while loop");
+  s->body.push_back(parse_stmt());
+  return s;
+}
+
+StmtPtr Parser::parse_block() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Block;
+  s->loc = expect(TokenKind::LBrace, "block").loc;
+  while (!at(TokenKind::RBrace) && !at(TokenKind::EndOfFile)) {
+    s->body.push_back(parse_stmt());
+  }
+  expect(TokenKind::RBrace, "block");
+  return s;
+}
+
+ExprPtr Parser::parse_expr() { return parse_binary_rhs(0, parse_unary()); }
+
+ExprPtr Parser::parse_binary_rhs(int min_prec, ExprPtr lhs) {
+  while (true) {
+    int prec = binary_precedence(peek().kind);
+    if (prec < min_prec || prec < 0) return lhs;
+    const Token& op = advance();
+    ExprPtr rhs = parse_unary();
+    // Left associativity: bind tighter operators on the right first.
+    while (binary_precedence(peek().kind) > prec) {
+      rhs = parse_binary_rhs(prec + 1, std::move(rhs));
+    }
+    lhs = Expr::make_binary(to_binary_op(op.kind), std::move(lhs),
+                            std::move(rhs), op.loc);
+  }
+}
+
+ExprPtr Parser::parse_unary() {
+  switch (peek().kind) {
+    case TokenKind::Minus: {
+      support::SourceLoc loc = advance().loc;
+      return Expr::make_unary(UnaryOp::Neg, parse_unary(), loc);
+    }
+    case TokenKind::Bang: {
+      support::SourceLoc loc = advance().loc;
+      return Expr::make_unary(UnaryOp::Not, parse_unary(), loc);
+    }
+    case TokenKind::Tilde: {
+      support::SourceLoc loc = advance().loc;
+      return Expr::make_unary(UnaryOp::BitNot, parse_unary(), loc);
+    }
+    default:
+      return parse_postfix(parse_primary());
+  }
+}
+
+ExprPtr Parser::parse_postfix(ExprPtr base) {
+  while (true) {
+    if (at(TokenKind::LBracket)) {
+      support::SourceLoc loc = advance().loc;
+      ExprPtr idx = parse_expr();
+      expect(TokenKind::RBracket, "index expression");
+      base = Expr::make_index(std::move(base), std::move(idx), loc);
+    } else if (at(TokenKind::Dot)) {
+      support::SourceLoc loc = advance().loc;
+      const Token& member = expect(TokenKind::Identifier, "member access");
+      base = Expr::make_member(std::move(base), member.text, loc);
+    } else {
+      return base;
+    }
+  }
+}
+
+ExprPtr Parser::parse_primary() {
+  const Token& t = peek();
+  switch (t.kind) {
+    case TokenKind::IntLiteral: {
+      advance();
+      return Expr::make_int(t.int_value, t.loc);
+    }
+    case TokenKind::CharLiteral: {
+      advance();
+      return Expr::make_char(t.int_value, t.loc);
+    }
+    case TokenKind::LParen: {
+      advance();
+      ExprPtr e = parse_expr();
+      expect(TokenKind::RParen, "parenthesized expression");
+      return e;
+    }
+    case TokenKind::Identifier: {
+      advance();
+      if (at(TokenKind::LParen)) {
+        advance();
+        std::vector<ExprPtr> args;
+        if (!at(TokenKind::RParen)) {
+          args.push_back(parse_expr());
+          while (accept(TokenKind::Comma)) args.push_back(parse_expr());
+        }
+        expect(TokenKind::RParen, "call expression");
+        return Expr::make_call(t.text, std::move(args), t.loc);
+      }
+      return Expr::make_var(t.text, t.loc);
+    }
+    default:
+      diags_.error(t.loc, "expected an expression, found " + t.str());
+      throw support::CompileError(t.loc, "parse error");
+  }
+}
+
+Program parse_source(std::string_view source,
+                     support::DiagnosticEngine& diags) {
+  Lexer lexer(source, diags);
+  Parser parser(lexer.lex_all(), diags);
+  return parser.parse_program();
+}
+
+}  // namespace hicsync::hic

@@ -1,0 +1,238 @@
+#include "hic/printer.h"
+
+namespace hicsync::hic {
+namespace {
+
+std::string pad(int indent) {
+  return std::string(static_cast<std::size_t>(indent) * 2, ' ');
+}
+
+/// Precedence used to decide parenthesization; mirrors the parser table.
+int prec(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::LogOr: return 1;
+    case BinaryOp::LogAnd: return 2;
+    case BinaryOp::Or: return 3;
+    case BinaryOp::Xor: return 4;
+    case BinaryOp::And: return 5;
+    case BinaryOp::Eq:
+    case BinaryOp::Ne: return 6;
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge: return 7;
+    case BinaryOp::Shl:
+    case BinaryOp::Shr: return 8;
+    case BinaryOp::Add:
+    case BinaryOp::Sub: return 9;
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Mod: return 10;
+  }
+  return 0;
+}
+
+std::string print_expr_prec(const Expr& e, int min_prec) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return std::to_string(e.int_value);
+    case ExprKind::CharLit: {
+      char c = static_cast<char>(e.int_value);
+      switch (c) {
+        case '\n': return "'\\n'";
+        case '\t': return "'\\t'";
+        case '\r': return "'\\r'";
+        case '\0': return "'\\0'";
+        case '\\': return "'\\\\'";
+        case '\'': return "'\\''";
+        default: return std::string("'") + c + "'";
+      }
+    }
+    case ExprKind::VarRef:
+      return e.name;
+    case ExprKind::Index:
+      return print_expr_prec(*e.operands[0], 100) + "[" +
+             print_expr_prec(*e.operands[1], 0) + "]";
+    case ExprKind::Member:
+      return print_expr_prec(*e.operands[0], 100) + "." + e.name;
+    case ExprKind::Unary:
+      return std::string(to_string(e.unary_op)) +
+             print_expr_prec(*e.operands[0], 99);
+    case ExprKind::Binary: {
+      int p = prec(e.binary_op);
+      std::string s = print_expr_prec(*e.operands[0], p) + " " +
+                      to_string(e.binary_op) + " " +
+                      print_expr_prec(*e.operands[1], p + 1);
+      if (p < min_prec) return "(" + s + ")";
+      return s;
+    }
+    case ExprKind::Call: {
+      std::string s = e.name + "(";
+      for (std::size_t i = 0; i < e.operands.size(); ++i) {
+        if (i != 0) s += ", ";
+        s += print_expr_prec(*e.operands[i], 0);
+      }
+      return s + ")";
+    }
+  }
+  return "<expr>";
+}
+
+std::string print_pragma(const Pragma& p) {
+  std::string s = "#";
+  s += to_string(p.kind);
+  s += "{";
+  if (p.kind == PragmaKind::Interface || p.kind == PragmaKind::Constant) {
+    s += p.name + ", " + p.value;
+  } else {
+    s += p.dep_id;
+    for (const auto& ep : p.endpoints) {
+      s += ", [" + ep.thread + "," + ep.var + "]";
+    }
+  }
+  s += "}";
+  return s;
+}
+
+void print_stmt_into(const Stmt& s, int indent, std::string& out);
+
+void print_list(const std::vector<StmtPtr>& list, int indent,
+                std::string& out) {
+  for (const auto& s : list) print_stmt_into(*s, indent, out);
+}
+
+/// Bodies of if/for/while hold a single statement that is often a Block;
+/// since we always print surrounding braces ourselves, flatten it so that
+/// print → parse → print is a fixed point.
+void print_body(const std::vector<StmtPtr>& list, int indent,
+                std::string& out) {
+  if (list.size() == 1 && list[0]->kind == StmtKind::Block &&
+      list[0]->pragmas.empty()) {
+    print_list(list[0]->body, indent, out);
+    return;
+  }
+  print_list(list, indent, out);
+}
+
+void print_stmt_into(const Stmt& s, int indent, std::string& out) {
+  for (const auto& p : s.pragmas) {
+    out += pad(indent) + print_pragma(p) + "\n";
+  }
+  switch (s.kind) {
+    case StmtKind::Assign:
+      out += pad(indent) + print_expr(*s.target) + " = " +
+             print_expr(*s.value) + ";\n";
+      break;
+    case StmtKind::If:
+      out += pad(indent) + "if (" + print_expr(*s.cond) + ") {\n";
+      print_body(s.then_body, indent + 1, out);
+      if (!s.else_body.empty()) {
+        out += pad(indent) + "} else {\n";
+        print_body(s.else_body, indent + 1, out);
+      }
+      out += pad(indent) + "}\n";
+      break;
+    case StmtKind::Case:
+      out += pad(indent) + "case (" + print_expr(*s.cond) + ") {\n";
+      for (const auto& arm : s.arms) {
+        out += pad(indent + 1) +
+               (arm.is_default ? std::string("default")
+                               : "when " + std::to_string(arm.value)) +
+               ":\n";
+        print_list(arm.body, indent + 2, out);
+      }
+      out += pad(indent) + "}\n";
+      break;
+    case StmtKind::For: {
+      std::string init = print_expr(*s.init->target) + " = " +
+                         print_expr(*s.init->value);
+      std::string step = print_expr(*s.step->target) + " = " +
+                         print_expr(*s.step->value);
+      out += pad(indent) + "for (" + init + "; " + print_expr(*s.cond) +
+             "; " + step + ") {\n";
+      print_body(s.body, indent + 1, out);
+      out += pad(indent) + "}\n";
+      break;
+    }
+    case StmtKind::While:
+      out += pad(indent) + "while (" + print_expr(*s.cond) + ") {\n";
+      print_body(s.body, indent + 1, out);
+      out += pad(indent) + "}\n";
+      break;
+    case StmtKind::Break:
+      out += pad(indent) + "break;\n";
+      break;
+    case StmtKind::Continue:
+      out += pad(indent) + "continue;\n";
+      break;
+    case StmtKind::Block:
+      out += pad(indent) + "{\n";
+      print_list(s.body, indent + 1, out);
+      out += pad(indent) + "}\n";
+      break;
+  }
+}
+
+std::string print_typespec(const VarDecl& d) {
+  if (d.type_name == "bits") {
+    return "bits<" + std::to_string(d.bits_width) + ">";
+  }
+  return d.type_name;
+}
+
+}  // namespace
+
+std::string print_expr(const Expr& expr) { return print_expr_prec(expr, 0); }
+
+std::string print_stmt(const Stmt& stmt, int indent) {
+  std::string out;
+  print_stmt_into(stmt, indent, out);
+  return out;
+}
+
+std::string print_thread(const ThreadDecl& thread) {
+  std::string out = "thread " + thread.name + " () {\n";
+  for (const auto& d : thread.decls) {
+    out += pad(1) + print_typespec(d) + " " + d.name;
+    if (d.array_size != 0) {
+      out += "[" + std::to_string(d.array_size) + "]";
+    }
+    out += ";\n";
+  }
+  for (const auto& s : thread.body) print_stmt_into(*s, 1, out);
+  out += "}\n";
+  return out;
+}
+
+std::string print_program(const Program& program) {
+  std::string out;
+  for (const auto& p : program.interfaces) {
+    out += "#interface{" + p.name + ", " + p.value + "}\n";
+  }
+  for (const auto& p : program.constants) {
+    out += "#constant{" + p.name + ", " + p.value + "}\n";
+  }
+  for (const auto& td : program.typedefs) {
+    if (td.is_union) {
+      out += "union " + td.name + " {\n";
+      for (const auto& m : td.members) {
+        std::string tn = m.type_name == "bits"
+                             ? "bits<" + std::to_string(m.bits_width) + ">"
+                             : m.type_name;
+        out += pad(1) + tn + " " + m.name + ";\n";
+      }
+      out += "}\n";
+    } else if (td.bits_width > 0) {
+      out += "type " + td.name + " = bits<" + std::to_string(td.bits_width) +
+             ">;\n";
+    } else if (!td.members.empty()) {
+      out += "type " + td.name + " = " + td.members[0].type_name + ";\n";
+    }
+  }
+  for (const auto& t : program.threads) {
+    out += print_thread(t);
+  }
+  return out;
+}
+
+}  // namespace hicsync::hic

@@ -1,0 +1,16 @@
+// AST pretty-printer: renders a parsed program back to hic surface syntax.
+// Used by tests (parse → print → reparse round-trips) and for debugging.
+#pragma once
+
+#include <string>
+
+#include "hic/ast.h"
+
+namespace hicsync::hic {
+
+[[nodiscard]] std::string print_expr(const Expr& expr);
+[[nodiscard]] std::string print_stmt(const Stmt& stmt, int indent = 0);
+[[nodiscard]] std::string print_thread(const ThreadDecl& thread);
+[[nodiscard]] std::string print_program(const Program& program);
+
+}  // namespace hicsync::hic

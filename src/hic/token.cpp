@@ -1,0 +1,74 @@
+#include "hic/token.h"
+
+namespace hicsync::hic {
+
+const char* to_string(TokenKind k) {
+  switch (k) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntLiteral: return "integer literal";
+    case TokenKind::CharLiteral: return "character literal";
+    case TokenKind::KwThread: return "'thread'";
+    case TokenKind::KwInt: return "'int'";
+    case TokenKind::KwChar: return "'char'";
+    case TokenKind::KwMessage: return "'message'";
+    case TokenKind::KwBits: return "'bits'";
+    case TokenKind::KwType: return "'type'";
+    case TokenKind::KwUnion: return "'union'";
+    case TokenKind::KwIf: return "'if'";
+    case TokenKind::KwElse: return "'else'";
+    case TokenKind::KwCase: return "'case'";
+    case TokenKind::KwWhen: return "'when'";
+    case TokenKind::KwDefault: return "'default'";
+    case TokenKind::KwFor: return "'for'";
+    case TokenKind::KwWhile: return "'while'";
+    case TokenKind::KwBreak: return "'break'";
+    case TokenKind::KwContinue: return "'continue'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::Dot: return "'.'";
+    case TokenKind::Hash: return "'#'";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Percent: return "'%'";
+    case TokenKind::Amp: return "'&'";
+    case TokenKind::Pipe: return "'|'";
+    case TokenKind::Caret: return "'^'";
+    case TokenKind::Tilde: return "'~'";
+    case TokenKind::Bang: return "'!'";
+    case TokenKind::AmpAmp: return "'&&'";
+    case TokenKind::PipePipe: return "'||'";
+    case TokenKind::EqEq: return "'=='";
+    case TokenKind::NotEq: return "'!='";
+    case TokenKind::Less: return "'<'";
+    case TokenKind::LessEq: return "'<='";
+    case TokenKind::Greater: return "'>'";
+    case TokenKind::GreaterEq: return "'>='";
+    case TokenKind::Shl: return "'<<'";
+    case TokenKind::Shr: return "'>>'";
+    case TokenKind::EndOfFile: return "end of file";
+  }
+  return "unknown";
+}
+
+std::string Token::str() const {
+  switch (kind) {
+    case TokenKind::Identifier:
+    case TokenKind::IntLiteral:
+    case TokenKind::CharLiteral:
+      return text;
+    default:
+      return to_string(kind);
+  }
+}
+
+}  // namespace hicsync::hic

@@ -1,0 +1,92 @@
+// Token definitions for the hic language.
+//
+// hic (Kulkarni & Brebner, DATE 2006, §2) is a concurrent asynchronous
+// language for networking applications: hardware threads over a logical
+// global shared memory of messages, with four pragmas (#interface,
+// #constant, #producer, #consumer). The paper gives the surface informally;
+// the concrete grammar here follows its Figure 1 example and §2 feature list.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/source_location.h"
+
+namespace hicsync::hic {
+
+enum class TokenKind {
+  // Literals and identifiers.
+  Identifier,
+  IntLiteral,
+  CharLiteral,
+
+  // Keywords.
+  KwThread,
+  KwInt,
+  KwChar,
+  KwMessage,
+  KwBits,
+  KwType,
+  KwUnion,
+  KwIf,
+  KwElse,
+  KwCase,
+  KwWhen,
+  KwDefault,
+  KwFor,
+  KwWhile,
+  KwBreak,
+  KwContinue,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Colon,
+  Dot,
+  Hash,
+
+  // Operators.
+  Assign,      // =
+  Plus,        // +
+  Minus,       // -
+  Star,        // *
+  Slash,       // /
+  Percent,     // %
+  Amp,         // &
+  Pipe,        // |
+  Caret,       // ^
+  Tilde,       // ~
+  Bang,        // !
+  AmpAmp,      // &&
+  PipePipe,    // ||
+  EqEq,        // ==
+  NotEq,       // !=
+  Less,        // <
+  LessEq,      // <=
+  Greater,     // >
+  GreaterEq,   // >=
+  Shl,         // <<
+  Shr,         // >>
+
+  EndOfFile,
+};
+
+[[nodiscard]] const char* to_string(TokenKind k);
+
+struct Token {
+  TokenKind kind = TokenKind::EndOfFile;
+  std::string text;           // spelling (identifiers, literals)
+  std::uint64_t int_value = 0;  // for IntLiteral / CharLiteral
+  support::SourceLoc loc;
+
+  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+  [[nodiscard]] std::string str() const;
+};
+
+}  // namespace hicsync::hic

@@ -1,0 +1,50 @@
+#include "hic/type.h"
+
+#include <algorithm>
+
+namespace hicsync::hic {
+
+const Type* Type::int_type() {
+  static const Type t(TypeKind::Int, kIntWidth, "int");
+  return &t;
+}
+
+const Type* Type::char_type() {
+  static const Type t(TypeKind::Char, kCharWidth, "char");
+  return &t;
+}
+
+const Type* Type::message_type() {
+  static const Type t(TypeKind::Message, kMessageWidth, "message");
+  return &t;
+}
+
+const Type* Type::error_type() {
+  static const Type t(TypeKind::Error, 0, "<error>");
+  return &t;
+}
+
+std::unique_ptr<Type> Type::make_bits(int width, std::string name) {
+  if (name.empty()) name = "bits<" + std::to_string(width) + ">";
+  return std::unique_ptr<Type>(
+      new Type(TypeKind::Bits, width, std::move(name)));
+}
+
+std::unique_ptr<Type> Type::make_union(std::string name,
+                                       std::vector<UnionMember> members) {
+  int width = 0;
+  for (const auto& m : members) width = std::max(width, m.type->bit_width());
+  auto t = std::unique_ptr<Type>(
+      new Type(TypeKind::Union, width, std::move(name)));
+  t->members_ = std::move(members);
+  return t;
+}
+
+const Type::UnionMember* Type::find_member(const std::string& n) const {
+  for (const auto& m : members_) {
+    if (m.name == n) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace hicsync::hic

@@ -1,0 +1,73 @@
+// hic type system.
+//
+// §2 of the paper: supported variable types are integer, character, and
+// user-defined types (fixed bit width, or a union of existing types), plus
+// the pre-defined `message` type that represents a packet/cell in the
+// logical global shared memory ("tub of packets").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hicsync::hic {
+
+enum class TypeKind {
+  Int,      // 32-bit integer
+  Char,     // 8-bit character
+  Bits,     // user-defined fixed bit width, bits<N>
+  Union,    // union of existing types; width = max member width
+  Message,  // pre-defined network message handle
+  Error,    // produced after a diagnosed type error
+};
+
+/// Immutable type descriptor. Types are interned by Sema; identity
+/// comparison of names is used where structural equality is needed.
+class Type {
+ public:
+  struct UnionMember {
+    std::string name;
+    const Type* type;
+  };
+
+  static const Type* int_type();
+  static const Type* char_type();
+  static const Type* message_type();
+  static const Type* error_type();
+
+  /// Creates an owned bits<N> type (caller keeps it alive, usually Sema).
+  static std::unique_ptr<Type> make_bits(int width, std::string name = "");
+  static std::unique_ptr<Type> make_union(std::string name,
+                                          std::vector<UnionMember> members);
+
+  [[nodiscard]] TypeKind kind() const { return kind_; }
+  /// Bit width occupied by one value of this type in a BRAM word.
+  [[nodiscard]] int bit_width() const { return bit_width_; }
+  /// Display name ("int", "char", "bits<12>", or the user typedef name).
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<UnionMember>& members() const {
+    return members_;
+  }
+  /// Looks up a union member by name; nullptr if not a union / not present.
+  [[nodiscard]] const UnionMember* find_member(const std::string& n) const;
+
+  [[nodiscard]] bool is_error() const { return kind_ == TypeKind::Error; }
+
+ private:
+  Type(TypeKind kind, int bit_width, std::string name)
+      : kind_(kind), bit_width_(bit_width), name_(std::move(name)) {}
+
+  TypeKind kind_;
+  int bit_width_;
+  std::string name_;
+  std::vector<UnionMember> members_;
+};
+
+/// Default widths used by the builtin types. `message` is a handle into the
+/// packet tub: a word-sized reference (the payload lives in the shared
+/// memory the paper calls the "tub of packets").
+inline constexpr int kIntWidth = 32;
+inline constexpr int kCharWidth = 8;
+inline constexpr int kMessageWidth = 32;
+
+}  // namespace hicsync::hic

@@ -1,0 +1,36 @@
+#include "memalloc/bram.h"
+
+#include "support/bits.h"
+
+namespace hicsync::memalloc {
+
+const std::vector<BramShape>& BramModel::legal_shapes() {
+  static const std::vector<BramShape> shapes = {
+      {1, 16384}, {2, 8192}, {4, 4096}, {9, 2048}, {18, 1024}, {36, 512},
+  };
+  return shapes;
+}
+
+BramShape BramModel::shape_for_width(int width) {
+  for (const BramShape& s : legal_shapes()) {
+    if (s.width >= width) return s;
+  }
+  return legal_shapes().back();
+}
+
+int BramModel::primitives_for(int width, std::int64_t words) {
+  if (width <= 0 || words <= 0) return 0;
+  BramShape shape = shape_for_width(width);
+  // Gang in width: ceil(width / 36) columns when wider than the widest
+  // shape; each column then needs ceil(words / depth) blocks.
+  int columns = 1;
+  if (width > shape.width) {
+    columns = static_cast<int>(
+        support::round_up(static_cast<std::uint64_t>(width), 36) / 36);
+    shape = BramShape{36, 512};
+  }
+  std::int64_t rows = (words + shape.depth - 1) / shape.depth;
+  return columns * static_cast<int>(rows);
+}
+
+}  // namespace hicsync::memalloc

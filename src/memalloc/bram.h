@@ -1,0 +1,47 @@
+// Virtex-II Pro block RAM primitive model.
+//
+// The paper targets the Xilinx Virtex-II Pro family [4]: true dual-ported
+// 18 Kbit block SelectRAM. Each of the two physical ports independently
+// selects an aspect ratio from 16K×1 up to 512×36 (the wide shapes use the
+// parity bits for data, hence ×9/×18/×36).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hicsync::memalloc {
+
+/// One legal port aspect ratio of an 18 Kbit BRAM.
+struct BramShape {
+  int width = 0;   // data bits per word
+  int depth = 0;   // words
+
+  [[nodiscard]] std::int64_t capacity_bits() const {
+    return static_cast<std::int64_t>(width) * depth;
+  }
+  friend bool operator==(const BramShape&, const BramShape&) = default;
+};
+
+class BramModel {
+ public:
+  /// Raw capacity including parity bits: 18 Kbit.
+  static constexpr std::int64_t kTotalBits = 18 * 1024;
+  /// Physical ports of one primitive (true dual port).
+  static constexpr int kPhysicalPorts = 2;
+
+  /// Legal aspect ratios, narrowest first: 16K×1, 8K×2, 4K×4, 2K×9,
+  /// 1K×18, 512×36.
+  [[nodiscard]] static const std::vector<BramShape>& legal_shapes();
+
+  /// The narrowest legal shape whose width >= `width`. Widths above 36 are
+  /// served by ganging primitives side by side; this returns 512×36 and
+  /// `primitives_for` accounts for the extra blocks.
+  [[nodiscard]] static BramShape shape_for_width(int width);
+
+  /// Number of physical 18 Kbit primitives needed to hold `words` words of
+  /// `width` bits each (ganging in width above 36 and in depth beyond the
+  /// shape's depth).
+  [[nodiscard]] static int primitives_for(int width, std::int64_t words);
+};
+
+}  // namespace hicsync::memalloc

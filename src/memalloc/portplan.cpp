@@ -1,0 +1,105 @@
+#include "memalloc/portplan.h"
+
+#include <algorithm>
+
+namespace hicsync::memalloc {
+
+const char* to_string(LogicalPort p) {
+  switch (p) {
+    case LogicalPort::A: return "A";
+    case LogicalPort::B: return "B";
+    case LogicalPort::C: return "C";
+    case LogicalPort::D: return "D";
+  }
+  return "?";
+}
+
+int BramPortPlan::consumer_pseudo_ports() const {
+  int n = 0;
+  for (const auto& c : clients) {
+    if (c.port == LogicalPort::C) ++n;
+  }
+  return n;
+}
+
+int BramPortPlan::producer_pseudo_ports() const {
+  int n = 0;
+  for (const auto& c : clients) {
+    if (c.port == LogicalPort::D) ++n;
+  }
+  return n;
+}
+
+const PortClient* BramPortPlan::client_for(const std::string& thread,
+                                           LogicalPort port) const {
+  for (const auto& c : clients) {
+    if (c.thread == thread && c.port == port) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<BramPortPlan> PortPlanner::plan(
+    const hic::Sema& sema, const MemoryMap& map,
+    const std::vector<synth::ThreadFsm>& fsms) {
+  std::vector<BramPortPlan> plans;
+  for (const BramInstance& bram : map.brams()) {
+    BramPortPlan plan;
+    plan.bram_id = bram.id;
+
+    // Producers on port D, consumers on port C — one pseudo-port per thread,
+    // in dependency order (the #consumer pragma order fixes the static
+    // schedule, so keep it deterministic).
+    auto add_client = [&](const std::string& thread, LogicalPort port,
+                          const hic::Dependency* dep) {
+      for (auto& c : plan.clients) {
+        if (c.thread == thread && c.port == port) {
+          if (dep != nullptr &&
+              std::find(c.deps.begin(), c.deps.end(), dep) == c.deps.end()) {
+            c.deps.push_back(dep);
+          }
+          return;
+        }
+      }
+      PortClient c;
+      c.thread = thread;
+      c.port = port;
+      int count = 0;
+      for (const auto& existing : plan.clients) {
+        if (existing.port == port) ++count;
+      }
+      c.pseudo_port = count;
+      if (dep != nullptr) c.deps.push_back(dep);
+      plan.clients.push_back(std::move(c));
+    };
+
+    for (const hic::Dependency* dep : bram.dependencies) {
+      add_client(dep->producer_thread, LogicalPort::D, dep);
+      for (const auto& consumer : dep->consumers) {
+        add_client(consumer.thread, LogicalPort::C, dep);
+      }
+    }
+
+    // Plain accesses to symbols living in this BRAM → port A clients.
+    for (const synth::ThreadFsm& fsm : fsms) {
+      bool plain_access = false;
+      for (const synth::FsmState& s : fsm.states()) {
+        for (const synth::StateAccess& a : s.accesses) {
+          if (a.role != synth::AccessRole::Plain) continue;
+          auto loc = map.locate(a.symbol);
+          if (loc.bram != nullptr && loc.bram->id == bram.id) {
+            plain_access = true;
+          }
+        }
+      }
+      if (plain_access) {
+        add_client(fsm.thread_name(), LogicalPort::A, nullptr);
+      }
+    }
+
+    plans.push_back(std::move(plan));
+  }
+  (void)sema;
+  return plans;
+}
+
+}  // namespace hicsync::memalloc

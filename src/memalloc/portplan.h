@@ -1,0 +1,56 @@
+// Port assignment per the §3.1 use model.
+//
+// For every allocated BRAM the wrapper exposes four logical ports:
+//   A — all single-cycle non-dependent accesses (direct to the BRAM);
+//   B — spare, for accesses independent of C/D (unused in the paper's
+//       experiments, lowest priority);
+//   C — guarded consumer reads, arbitrated among consumer pseudo-ports;
+//   D — producer writes, arbitrated, highest priority.
+// This module decides which thread attaches where, and numbers the
+// pseudo-ports whose count Tables 1 and 2 sweep.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "memalloc/allocator.h"
+#include "synth/fsm.h"
+
+namespace hicsync::memalloc {
+
+enum class LogicalPort { A, B, C, D };
+
+[[nodiscard]] const char* to_string(LogicalPort p);
+
+struct PortClient {
+  std::string thread;
+  LogicalPort port = LogicalPort::A;
+  /// Index among the pseudo-ports multiplexed onto this logical port
+  /// (0-based; meaningful for C and D).
+  int pseudo_port = 0;
+  /// Dependencies this client participates in through this port
+  /// (C: consumes, D: produces; empty for A/B).
+  std::vector<const hic::Dependency*> deps;
+};
+
+struct BramPortPlan {
+  int bram_id = -1;
+  std::vector<PortClient> clients;
+
+  [[nodiscard]] int consumer_pseudo_ports() const;
+  [[nodiscard]] int producer_pseudo_ports() const;
+  [[nodiscard]] const PortClient* client_for(const std::string& thread,
+                                             LogicalPort port) const;
+};
+
+class PortPlanner {
+ public:
+  /// Plans ports for every BRAM. `fsms` supply the access roles; a thread
+  /// whose FSM performs a Plain access to a symbol in a BRAM becomes an A
+  /// client of that BRAM.
+  [[nodiscard]] static std::vector<BramPortPlan> plan(
+      const hic::Sema& sema, const MemoryMap& map,
+      const std::vector<synth::ThreadFsm>& fsms);
+};
+
+}  // namespace hicsync::memalloc

@@ -1,0 +1,41 @@
+// Memory size analysis.
+//
+// §3: "the memory allocation process takes into account available physical
+// memory size (eg: BRAM size of 18 Kb) and number of ports (eg: dual ports
+// on each BRAM)" and is driven by "memory size analysis and a partial order
+// of operations." This module computes per-thread storage requirements,
+// splitting register candidates from memory-resident data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hic/sema.h"
+
+namespace hicsync::memalloc {
+
+/// Storage requirement of one thread.
+struct ThreadSizing {
+  std::string thread;
+  std::uint64_t total_bits = 0;        // sum of all declared storage
+  std::uint64_t register_bits = 0;     // scalars private to the thread
+  std::uint64_t memory_bits = 0;       // arrays + shared variables
+  std::uint64_t shared_bits = 0;       // subset of memory: shared variables
+  int memory_symbols = 0;
+  int register_symbols = 0;
+};
+
+/// Whether a symbol is memory-resident (BRAM) rather than a register:
+/// arrays always; scalars when they participate in an inter-thread
+/// dependency (the producer's value must be observable by other threads).
+[[nodiscard]] bool is_memory_resident(const hic::Symbol& sym);
+
+/// Sizing of every thread in the program.
+[[nodiscard]] std::vector<ThreadSizing> analyze_sizes(const hic::Sema& sema);
+
+/// Total BRAM primitives a naive one-symbol-per-BRAM mapping would use —
+/// the upper bound the allocator must beat.
+[[nodiscard]] int naive_bram_bound(const hic::Sema& sema);
+
+}  // namespace hicsync::memalloc

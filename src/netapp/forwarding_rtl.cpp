@@ -1,0 +1,189 @@
+#include "netapp/forwarding_rtl.h"
+
+#include <string>
+#include <vector>
+
+#include "rtl/builder.h"
+
+namespace hicsync::netapp {
+
+using rtl::ebin;
+using rtl::econst;
+using rtl::emux;
+using rtl::enot;
+using rtl::eref;
+using rtl::eslice;
+using rtl::RtlExprPtr;
+using rtl::RtlOp;
+
+namespace {
+
+using rtl::econcat;
+
+/// Ones-complement 16-bit addition with end-around carry:
+/// s = a + b; s = (s & 0xFFFF) + (s >> 16). Built as a 17-bit add whose
+/// result is materialized into a wire (referencing it twice must not clone
+/// the upstream tree — chained adders would blow up exponentially).
+RtlExprPtr oc_add(rtl::Module& m, const std::string& name, RtlExprPtr a,
+                  RtlExprPtr b) {
+  std::vector<RtlExprPtr> wa;
+  wa.push_back(econst(0, 1));
+  wa.push_back(std::move(a));
+  std::vector<RtlExprPtr> wb;
+  wb.push_back(econst(0, 1));
+  wb.push_back(std::move(b));
+  int sum = m.add_wire(name + "_s17", 17);
+  m.assign(sum, ebin(RtlOp::Add, econcat(std::move(wa)),
+                     econcat(std::move(wb))));
+  RtlExprPtr low = eslice(eref(sum, 17), 15, 0);
+  RtlExprPtr carry = eslice(eref(sum, 17), 16, 16);
+  std::vector<RtlExprPtr> wc;
+  wc.push_back(econst(0, 15));
+  wc.push_back(std::move(carry));
+  int folded = m.add_wire(name + "_fold", 16);
+  m.assign(folded,
+           ebin(RtlOp::Add, std::move(low), econcat(std::move(wc))));
+  return eref(folded, 16);
+}
+
+}  // namespace
+
+rtl::Module& generate_forwarding_core(rtl::Design& design,
+                                      const ForwardingCoreConfig& cfg,
+                                      const std::string& name) {
+  rtl::Module& m = design.add_module(name);
+  (void)m.clk();
+  (void)m.rst();
+
+  for (int port = 0; port < cfg.ports; ++port) {
+    std::string p = "p" + std::to_string(port) + "_";
+
+    // ---- Stage 0: header input (five 32-bit words) + capture. ----
+    int in_valid = m.add_input(p + "in_valid", 1);
+    std::vector<int> hdr_in(5);
+    std::vector<int> hdr_q(5);
+    for (int w = 0; w < 5; ++w) {
+      hdr_in[static_cast<std::size_t>(w)] =
+          m.add_input(p + "hdr" + std::to_string(w), 32);
+      hdr_q[static_cast<std::size_t>(w)] =
+          m.add_reg(p + "hdr_q" + std::to_string(w), 32);
+      m.seq(hdr_q[static_cast<std::size_t>(w)],
+            eref(hdr_in[static_cast<std::size_t>(w)], 32),
+            eref(in_valid, 1));
+    }
+    int v_q1 = m.add_reg(p + "valid_q1", 1);
+    m.seq(v_q1, eref(in_valid, 1));
+
+    // ---- Stage 1: RFC 1071 verification over the ten halfwords. ----
+    std::vector<RtlExprPtr> halves;
+    for (int w = 0; w < 5; ++w) {
+      halves.push_back(
+          eslice(eref(hdr_q[static_cast<std::size_t>(w)], 32), 31, 16));
+      halves.push_back(
+          eslice(eref(hdr_q[static_cast<std::size_t>(w)], 32), 15, 0));
+    }
+    RtlExprPtr sum = std::move(halves[0]);
+    for (std::size_t i = 1; i < halves.size(); ++i) {
+      sum = oc_add(m, p + "ck" + std::to_string(i), std::move(sum),
+                   std::move(halves[i]));
+    }
+    int cksum_ok = m.add_wire(p + "cksum_ok", 1);
+    m.assign(cksum_ok,
+             ebin(RtlOp::Eq, std::move(sum), econst(0xFFFF, 16)));
+
+    // Pipeline registers into stage 2.
+    int dst_q = m.add_reg(p + "dst_q", 32);
+    m.seq(dst_q, eref(hdr_q[4], 32), eref(v_q1, 1));
+    int ttl_proto_q = m.add_reg(p + "ttl_proto_q", 16);
+    m.seq(ttl_proto_q, eslice(eref(hdr_q[2], 32), 31, 16), eref(v_q1, 1));
+    int cksum_q = m.add_reg(p + "cksum_q", 16);
+    m.seq(cksum_q, eslice(eref(hdr_q[2], 32), 15, 0), eref(v_q1, 1));
+    int ok_q = m.add_reg(p + "ok_q", 1);
+    m.seq(ok_q, ebin(RtlOp::And, eref(v_q1, 1), eref(cksum_ok, 1)));
+
+    // ---- Stage 2: LPM classification (direct-indexed BRAM table). ----
+    rtl::Memory& table = m.add_memory(p + "lpm_table", 16,
+                                      1 << cfg.table_bits);
+    int hop_q = m.add_reg(p + "hop_q", 16);
+    {
+      rtl::MemoryPort rd;
+      rd.addr = eslice(eref(dst_q, 32), 31, 32 - cfg.table_bits);
+      rd.read_data = hop_q;
+      table.ports.push_back(std::move(rd));
+      // Update port so the control plane can load routes.
+      int we = m.add_input(p + "table_we", 1);
+      int waddr = m.add_input(p + "table_waddr", cfg.table_bits);
+      int wdata = m.add_input(p + "table_wdata", 16);
+      rtl::MemoryPort wr;
+      wr.addr = eref(waddr, cfg.table_bits);
+      wr.write_enable = eref(we, 1);
+      wr.write_data = eref(wdata, 16);
+      table.ports.push_back(std::move(wr));
+    }
+    int ok_q2 = m.add_reg(p + "ok_q2", 1);
+    m.seq(ok_q2, eref(ok_q, 1));
+    int ttl_proto_q2 = m.add_reg(p + "ttl_proto_q2", 16);
+    m.seq(ttl_proto_q2, eref(ttl_proto_q, 16));
+    int cksum_q2 = m.add_reg(p + "cksum_q2", 16);
+    m.seq(cksum_q2, eref(cksum_q, 16));
+
+    // ---- Stage 3: TTL decrement + incremental checksum (RFC 1624). ----
+    RtlExprPtr ttl = eslice(eref(ttl_proto_q2, 16), 15, 8);
+    RtlExprPtr ttl_nonzero = rtl::ereduce_or(eslice(eref(ttl_proto_q2, 16),
+                                                    15, 8));
+    RtlExprPtr new_ttl = ebin(RtlOp::Sub, std::move(ttl), econst(1, 8));
+    std::vector<RtlExprPtr> new_word_parts;
+    new_word_parts.push_back(std::move(new_ttl));
+    new_word_parts.push_back(eslice(eref(ttl_proto_q2, 16), 7, 0));
+    RtlExprPtr new_word = econcat(std::move(new_word_parts));
+    // HC' = ~(~HC + ~m + m')
+    RtlExprPtr acc = oc_add(m, p + "upd1", enot(eref(cksum_q2, 16)),
+                            enot(eref(ttl_proto_q2, 16)));
+    acc = oc_add(m, p + "upd2", std::move(acc), new_word->clone());
+    int out_cksum = m.add_output_reg(p + "out_cksum", 16);
+    m.seq(out_cksum, enot(std::move(acc)));
+    int out_ttl_proto = m.add_output_reg(p + "out_ttl_proto", 16);
+    m.seq(out_ttl_proto, std::move(new_word));
+
+    // Egress decision: drop when checksum bad, TTL expired, or no route.
+    int out_valid = m.add_output_reg(p + "out_valid", 1);
+    RtlExprPtr routed = rtl::ereduce_or(eref(hop_q, 16));
+    m.seq(out_valid,
+          ebin(RtlOp::And, eref(ok_q2, 1),
+               ebin(RtlOp::And, std::move(ttl_nonzero), std::move(routed))));
+    int out_port = m.add_output_reg(p + "out_port", 16);
+    m.seq(out_port, ebin(RtlOp::Sub, eref(hop_q, 16), econst(1, 16)));
+
+    // ---- Egress FIFO bookkeeping (descriptor queue per port). ----
+    rtl::Memory& fifo = m.add_memory(p + "egress_fifo", 32, 64);
+    int head = m.add_reg(p + "fifo_head", 6);
+    int tail = m.add_reg(p + "fifo_tail", 6);
+    int pop = m.add_input(p + "fifo_pop", 1);
+    int fifo_out = m.add_output_reg(p + "fifo_dout", 32);
+    {
+      rtl::MemoryPort wr;
+      wr.addr = eref(tail, 6);
+      wr.write_enable = eref(out_valid, 1);
+      std::vector<RtlExprPtr> desc;
+      desc.push_back(eref(out_port, 16));
+      desc.push_back(eref(out_cksum, 16));
+      wr.write_data = econcat(std::move(desc));
+      fifo.ports.push_back(std::move(wr));
+      rtl::MemoryPort rd;
+      rd.addr = eref(head, 6);
+      rd.read_data = fifo_out;
+      fifo.ports.push_back(std::move(rd));
+    }
+    m.seq(tail, ebin(RtlOp::Add, eref(tail, 6), econst(1, 6)),
+          eref(out_valid, 1));
+    int nonempty = m.add_output(p + "fifo_nonempty", 1);
+    m.assign(nonempty,
+             ebin(RtlOp::Ne, eref(head, 6), eref(tail, 6)));
+    m.seq(head, ebin(RtlOp::Add, eref(head, 6), econst(1, 6)),
+          ebin(RtlOp::And, eref(pop, 1), eref(nonempty, 1)));
+  }
+
+  return m;
+}
+
+}  // namespace hicsync::netapp

@@ -1,0 +1,27 @@
+// Generated RTL for the IP forwarding core.
+//
+// §4: "The two-port IP forwarding application ... used a total of 5430
+// slices, of which around 1000 slices were for the core forwarding
+// function." We regenerate that core so the overhead comparison
+// (bench_overhead_vs_core) divides by a measured number rather than a
+// constant: per input port, a three-stage pipeline of
+//   (1) header capture + RFC 1071 checksum verification adder tree,
+//   (2) longest-prefix classification via a direct-indexed BRAM table,
+//   (3) TTL decrement + RFC 1624 incremental checksum update + egress mux.
+#pragma once
+
+#include "rtl/netlist.h"
+
+namespace hicsync::netapp {
+
+struct ForwardingCoreConfig {
+  int ports = 2;        // input/output port pairs
+  int table_bits = 10;  // direct-indexed LPM table of 2^bits entries
+};
+
+/// Generates the forwarding core into `design` and returns the module.
+rtl::Module& generate_forwarding_core(rtl::Design& design,
+                                      const ForwardingCoreConfig& config,
+                                      const std::string& name);
+
+}  // namespace hicsync::netapp

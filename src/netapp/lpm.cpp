@@ -1,0 +1,79 @@
+#include "netapp/lpm.h"
+
+#include "support/strings.h"
+
+namespace hicsync::netapp {
+
+void LpmTable::insert(std::uint32_t prefix, int length, int next_hop) {
+  if (length < 0) length = 0;
+  if (length > 32) length = 32;
+  Node* node = &root_;
+  for (int bit = 0; bit < length; ++bit) {
+    int b = (prefix >> (31 - bit)) & 1;
+    if (!node->child[b]) node->child[b] = std::make_unique<Node>();
+    node = node->child[b].get();
+  }
+  if (!node->next_hop.has_value()) ++routes_;
+  node->next_hop = next_hop;
+}
+
+bool LpmTable::insert_cidr(const std::string& cidr, int next_hop) {
+  auto slash = cidr.find('/');
+  if (slash == std::string::npos) return false;
+  auto addr = parse_ipv4(cidr.substr(0, slash));
+  if (!addr.has_value()) return false;
+  int length = 0;
+  try {
+    length = std::stoi(cidr.substr(slash + 1));
+  } catch (...) {
+    return false;
+  }
+  if (length < 0 || length > 32) return false;
+  insert(*addr, length, next_hop);
+  return true;
+}
+
+std::optional<int> LpmTable::lookup(std::uint32_t addr) const {
+  const Node* node = &root_;
+  std::optional<int> best = node->next_hop;
+  for (int bit = 0; bit < 32 && node != nullptr; ++bit) {
+    int b = (addr >> (31 - bit)) & 1;
+    node = node->child[b].get();
+    if (node != nullptr && node->next_hop.has_value()) {
+      best = node->next_hop;
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint16_t> LpmTable::flatten(int bits) const {
+  std::vector<std::uint16_t> table(static_cast<std::size_t>(1) << bits, 0);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    std::uint32_t addr = static_cast<std::uint32_t>(i) << (32 - bits);
+    auto hop = lookup(addr);
+    table[i] = hop.has_value()
+                   ? static_cast<std::uint16_t>(*hop + 1)
+                   : 0;
+  }
+  return table;
+}
+
+std::optional<std::uint32_t> parse_ipv4(const std::string& s) {
+  auto parts = support::split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t addr = 0;
+  for (const auto& p : parts) {
+    if (p.empty()) return std::nullopt;
+    int v = 0;
+    try {
+      v = std::stoi(p);
+    } catch (...) {
+      return std::nullopt;
+    }
+    if (v < 0 || v > 255) return std::nullopt;
+    addr = (addr << 8) | static_cast<std::uint32_t>(v);
+  }
+  return addr;
+}
+
+}  // namespace hicsync::netapp

@@ -1,0 +1,48 @@
+// Longest-prefix-match forwarding table (binary trie).
+//
+// The core of the IP forwarding function the paper's scenarios wrap. Used
+// functionally by the simulator (through extern hooks) and as the behaviour
+// reference for the generated forwarding-core RTL.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hicsync::netapp {
+
+class LpmTable {
+ public:
+  /// Inserts a route: `prefix`/`length` → `next_hop` (output port id).
+  /// Longer prefixes win on lookup; re-inserting a prefix overwrites.
+  void insert(std::uint32_t prefix, int length, int next_hop);
+
+  /// Convenience for dotted/CIDR text, e.g. "10.1.0.0/16".
+  /// Returns false on malformed input.
+  bool insert_cidr(const std::string& cidr, int next_hop);
+
+  /// Longest-prefix match; nullopt when no route covers the address.
+  [[nodiscard]] std::optional<int> lookup(std::uint32_t addr) const;
+
+  [[nodiscard]] std::size_t size() const { return routes_; }
+
+  /// Flattens to a direct-indexed table of 2^bits entries (what the
+  /// generated forwarding core stores in BRAM). Entry value: next_hop + 1,
+  /// 0 = no route.
+  [[nodiscard]] std::vector<std::uint16_t> flatten(int bits) const;
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> child[2];
+    std::optional<int> next_hop;
+  };
+  Node root_;
+  std::size_t routes_ = 0;
+};
+
+/// Parses dotted-quad "a.b.c.d"; returns nullopt on malformed input.
+[[nodiscard]] std::optional<std::uint32_t> parse_ipv4(const std::string& s);
+
+}  // namespace hicsync::netapp

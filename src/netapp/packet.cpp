@@ -1,0 +1,113 @@
+#include "netapp/packet.h"
+
+namespace hicsync::netapp {
+
+std::array<std::uint8_t, 20> Ipv4Header::serialize() const {
+  std::array<std::uint8_t, 20> b{};
+  b[0] = static_cast<std::uint8_t>((version << 4) | (ihl & 0xF));
+  b[1] = tos;
+  b[2] = static_cast<std::uint8_t>(total_length >> 8);
+  b[3] = static_cast<std::uint8_t>(total_length);
+  b[4] = static_cast<std::uint8_t>(identification >> 8);
+  b[5] = static_cast<std::uint8_t>(identification);
+  b[6] = static_cast<std::uint8_t>(flags_fragment >> 8);
+  b[7] = static_cast<std::uint8_t>(flags_fragment);
+  b[8] = ttl;
+  b[9] = protocol;
+  b[10] = static_cast<std::uint8_t>(checksum >> 8);
+  b[11] = static_cast<std::uint8_t>(checksum);
+  b[12] = static_cast<std::uint8_t>(src >> 24);
+  b[13] = static_cast<std::uint8_t>(src >> 16);
+  b[14] = static_cast<std::uint8_t>(src >> 8);
+  b[15] = static_cast<std::uint8_t>(src);
+  b[16] = static_cast<std::uint8_t>(dst >> 24);
+  b[17] = static_cast<std::uint8_t>(dst >> 16);
+  b[18] = static_cast<std::uint8_t>(dst >> 8);
+  b[19] = static_cast<std::uint8_t>(dst);
+  return b;
+}
+
+bool Ipv4Header::parse(const std::uint8_t* b, Ipv4Header* out) {
+  Ipv4Header h;
+  h.version = b[0] >> 4;
+  h.ihl = b[0] & 0xF;
+  if (h.version != 4 || h.ihl < 5) return false;
+  h.tos = b[1];
+  h.total_length = static_cast<std::uint16_t>((b[2] << 8) | b[3]);
+  h.identification = static_cast<std::uint16_t>((b[4] << 8) | b[5]);
+  h.flags_fragment = static_cast<std::uint16_t>((b[6] << 8) | b[7]);
+  h.ttl = b[8];
+  h.protocol = b[9];
+  h.checksum = static_cast<std::uint16_t>((b[10] << 8) | b[11]);
+  h.src = (static_cast<std::uint32_t>(b[12]) << 24) |
+          (static_cast<std::uint32_t>(b[13]) << 16) |
+          (static_cast<std::uint32_t>(b[14]) << 8) | b[15];
+  h.dst = (static_cast<std::uint32_t>(b[16]) << 24) |
+          (static_cast<std::uint32_t>(b[17]) << 16) |
+          (static_cast<std::uint32_t>(b[18]) << 8) | b[19];
+  *out = h;
+  return true;
+}
+
+std::uint16_t ones_complement_sum(const std::uint8_t* data,
+                                  std::size_t len) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < len; i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (len % 2 == 1) {
+    sum += static_cast<std::uint32_t>(data[len - 1] << 8);
+  }
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(sum);
+}
+
+std::uint16_t Ipv4Header::compute_checksum() const {
+  Ipv4Header copy = *this;
+  copy.checksum = 0;
+  auto bytes = copy.serialize();
+  return static_cast<std::uint16_t>(
+      ~ones_complement_sum(bytes.data(), bytes.size()));
+}
+
+bool Ipv4Header::checksum_ok() const {
+  auto bytes = serialize();
+  return ones_complement_sum(bytes.data(), bytes.size()) == 0xFFFF;
+}
+
+bool Ipv4Header::forward_hop() {
+  if (ttl == 0) return false;
+  // RFC 1624 incremental update: HC' = ~(~HC + ~m + m') where the changed
+  // 16-bit field m is {ttl, protocol}.
+  std::uint16_t old_word =
+      static_cast<std::uint16_t>((ttl << 8) | protocol);
+  --ttl;
+  std::uint16_t new_word =
+      static_cast<std::uint16_t>((ttl << 8) | protocol);
+  std::uint32_t sum = static_cast<std::uint16_t>(~checksum);
+  sum += static_cast<std::uint16_t>(~old_word);
+  sum += new_word;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  checksum = static_cast<std::uint16_t>(~sum);
+  return true;
+}
+
+std::uint32_t make_descriptor(std::uint16_t slot, std::uint8_t port,
+                              std::uint8_t len_class) {
+  return (static_cast<std::uint32_t>(len_class) << 24) |
+         (static_cast<std::uint32_t>(port) << 16) | slot;
+}
+
+std::uint16_t descriptor_slot(std::uint32_t d) {
+  return static_cast<std::uint16_t>(d & 0xFFFF);
+}
+
+std::uint8_t descriptor_port(std::uint32_t d) {
+  return static_cast<std::uint8_t>((d >> 16) & 0xFF);
+}
+
+std::uint8_t descriptor_len_class(std::uint32_t d) {
+  return static_cast<std::uint8_t>((d >> 24) & 0xFF);
+}
+
+}  // namespace hicsync::netapp

@@ -1,0 +1,69 @@
+// IPv4 packet model for the paper's application domain.
+//
+// §4 builds its scenarios from "a simple Internet Protocol (IP) packet
+// forwarding application". This is the functional model: header fields,
+// the RFC 1071 ones-complement checksum, and the forwarding-relevant
+// transformations (TTL decrement + incremental checksum update).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace hicsync::netapp {
+
+struct Ipv4Header {
+  std::uint8_t version = 4;
+  std::uint8_t ihl = 5;  // header words
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 20;
+  std::uint16_t identification = 0;
+  std::uint16_t flags_fragment = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 17;  // UDP
+  std::uint16_t checksum = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+
+  /// Serializes the 20-byte header (checksum field as stored).
+  [[nodiscard]] std::array<std::uint8_t, 20> serialize() const;
+  /// Parses 20 bytes; returns false if version/ihl are malformed.
+  static bool parse(const std::uint8_t* bytes, Ipv4Header* out);
+
+  /// RFC 1071 checksum of the header with the checksum field zeroed.
+  [[nodiscard]] std::uint16_t compute_checksum() const;
+  /// True if the stored checksum verifies.
+  [[nodiscard]] bool checksum_ok() const;
+  /// Fills the checksum field.
+  void finalize_checksum() { checksum = compute_checksum(); }
+
+  /// Forwarding transformation: decrement TTL and incrementally update the
+  /// checksum (RFC 1624). Returns false if TTL was already 0 (drop).
+  bool forward_hop();
+};
+
+/// A packet: header + opaque payload bytes.
+struct Packet {
+  Ipv4Header header;
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::size_t wire_length() const {
+    return 20 + payload.size();
+  }
+};
+
+/// Ones-complement sum over 16-bit big-endian words (RFC 1071 core).
+[[nodiscard]] std::uint16_t ones_complement_sum(const std::uint8_t* data,
+                                                std::size_t len);
+
+/// Compact 32-bit descriptor for passing a packet between hardware threads
+/// through the shared memory "tub": what the hic `message` value denotes in
+/// our simulations. Encodes {tub slot, input port, length class}.
+[[nodiscard]] std::uint32_t make_descriptor(std::uint16_t slot,
+                                            std::uint8_t port,
+                                            std::uint8_t len_class);
+[[nodiscard]] std::uint16_t descriptor_slot(std::uint32_t d);
+[[nodiscard]] std::uint8_t descriptor_port(std::uint32_t d);
+[[nodiscard]] std::uint8_t descriptor_len_class(std::uint32_t d);
+
+}  // namespace hicsync::netapp

@@ -1,0 +1,142 @@
+#include "netapp/scenarios.h"
+
+#include <memory>
+
+#include "netapp/packet.h"
+#include "netapp/traffic.h"
+
+namespace hicsync::netapp {
+
+std::string figure1_source() {
+  return R"(
+thread t1 () {
+  int x1, xtmp, x2;
+  #consumer{mt1, [t2,y1], [t3,z1]}
+  x1 = f(xtmp, x2);
+}
+thread t2 () {
+  int y1, y2;
+  #producer{mt1, [t1,x1]}
+  y1 = g(x1, y2);
+}
+thread t3 () {
+  int z1, z2;
+  #producer{mt1, [t1,x1]}
+  z1 = h(x1, z2);
+}
+)";
+}
+
+std::string fanout_source(int consumers) {
+  std::string src = R"(
+#interface{gige0, GigabitEthernet}
+thread rx () {
+  int desc;
+  #consumer{pkt)";
+  for (int i = 0; i < consumers; ++i) {
+    src += ", [c" + std::to_string(i) + ",v" + std::to_string(i) + "]";
+  }
+  src += R"(}
+  desc = parse_pkt();
+}
+)";
+  for (int i = 0; i < consumers; ++i) {
+    std::string n = std::to_string(i);
+    src += "thread c" + n + " () {\n  int v" + n +
+           ";\n  #producer{pkt, [rx,desc]}\n  v" + n + " = classify(desc, " +
+           n + ");\n}\n";
+  }
+  return src;
+}
+
+std::string ip_forwarding_source() {
+  return R"(
+#interface{gige0, GigabitEthernet}
+#interface{gige1, GigabitEthernet}
+#constant{host_addr, 0x0A000001}
+
+thread rx0 () {
+  int d0;
+  #consumer{in0, [fwd,win0]}
+  d0 = parse_pkt();
+}
+
+thread rx1 () {
+  int d1;
+  #consumer{in1, [fwd,win1]}
+  d1 = parse_pkt();
+}
+
+thread fwd () {
+  int win0, win1, odesc;
+  #producer{in0, [rx0,d0]}
+  win0 = classify(d0, 0);
+  #producer{in1, [rx1,d1]}
+  win1 = classify(d1, 1);
+  #consumer{out, [tx0,e0], [tx1,e1]}
+  odesc = fwd_desc(win0, win1);
+}
+
+thread tx0 () {
+  int e0;
+  #producer{out, [fwd,odesc]}
+  e0 = emit(odesc, 0);
+}
+
+thread tx1 () {
+  int e1;
+  #producer{out, [fwd,odesc]}
+  e1 = emit(odesc, 1);
+}
+)";
+}
+
+void wire_forwarding_externs(sim::SystemSim& sim, const LpmTable& table,
+                             std::uint64_t seed) {
+  auto factory = std::make_shared<PacketFactory>(seed);
+  auto tub = std::make_shared<std::vector<Packet>>();
+
+  sim.externs().register_fn(
+      "parse_pkt", [factory, tub](const std::vector<std::uint64_t>&) {
+        Packet p = factory->make();
+        tub->push_back(p);
+        auto slot = static_cast<std::uint16_t>(tub->size() - 1);
+        return static_cast<std::uint64_t>(make_descriptor(
+            slot, 0,
+            static_cast<std::uint8_t>(p.wire_length() / 64)));
+      });
+  sim.externs().register_fn(
+      "classify",
+      [tub, &table](const std::vector<std::uint64_t>& args) -> std::uint64_t {
+        std::uint32_t d = static_cast<std::uint32_t>(args.at(0));
+        std::uint16_t slot = descriptor_slot(d);
+        if (slot >= tub->size()) return 0;
+        const Packet& p = (*tub)[slot];
+        auto hop = table.lookup(p.header.dst);
+        // Encode {slot, hop} in the classified descriptor.
+        return make_descriptor(
+            slot, static_cast<std::uint8_t>(hop.value_or(255)), 0);
+      });
+  sim.externs().register_fn(
+      "fwd_desc",
+      [tub](const std::vector<std::uint64_t>& args) -> std::uint64_t {
+        // Forward whichever input descriptor is non-null; apply the hop
+        // transformation to the packet.
+        std::uint32_t d = static_cast<std::uint32_t>(
+            args.at(0) != 0 ? args.at(0) : args.at(1));
+        std::uint16_t slot = descriptor_slot(d);
+        if (slot < tub->size()) {
+          (*tub)[slot].header.forward_hop();
+        }
+        return d;
+      });
+  sim.externs().register_fn(
+      "emit", [tub](const std::vector<std::uint64_t>& args) -> std::uint64_t {
+        std::uint32_t d = static_cast<std::uint32_t>(args.at(0));
+        std::uint64_t port = args.at(1);
+        // The emitted value records (slot, egress port) for checking.
+        return (static_cast<std::uint64_t>(descriptor_slot(d)) << 8) | port;
+      });
+}
+
+}  // namespace hicsync::netapp

@@ -1,0 +1,35 @@
+// hic program builders for the paper's experimental scenarios.
+//
+// §4: "we have mapped three different scenarios based on a simple Internet
+// Protocol (IP) packet forwarding application. The three different
+// scenarios scale the number of pseudo-ports that get mapped on to the read
+// port": one producer, {2,4,8} consumers, a single BRAM.
+#pragma once
+
+#include <string>
+
+#include "netapp/lpm.h"
+#include "sim/system.h"
+
+namespace hicsync::netapp {
+
+/// The Figure 1 pseudo-example, verbatim semantics.
+[[nodiscard]] std::string figure1_source();
+
+/// 1 producer × N consumers on one shared variable — the Table 1/2 sweep.
+/// Producer thread `rx` computes a packet descriptor; consumers `cN` each
+/// derive a value from it.
+[[nodiscard]] std::string fanout_source(int consumers);
+
+/// The two-port IP forwarding application: rx0/rx1 produce descriptors,
+/// the forwarding thread consumes both and produces an output descriptor
+/// consumed by tx0/tx1.
+[[nodiscard]] std::string ip_forwarding_source();
+
+/// Registers extern functions implementing the forwarding behaviour on the
+/// C++ packet/LPM models: `parse_pkt`, `classify`, `fwd_desc`, `emit`.
+/// `table` must outlive the simulator.
+void wire_forwarding_externs(sim::SystemSim& sim, const LpmTable& table,
+                             std::uint64_t seed);
+
+}  // namespace hicsync::netapp

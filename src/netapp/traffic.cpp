@@ -1,0 +1,77 @@
+#include "netapp/traffic.h"
+
+namespace hicsync::netapp {
+
+PoissonArrivals::PoissonArrivals(double probability_per_cycle,
+                                 std::uint64_t seed)
+    : p_(probability_per_cycle), rng_(seed) {}
+
+std::uint64_t PoissonArrivals::next_arrival() {
+  now_ += rng_.next_geometric(p_);
+  return now_;
+}
+
+CbrArrivals::CbrArrivals(std::uint64_t period, std::uint64_t phase)
+    : period_(period == 0 ? 1 : period), next_(phase) {}
+
+std::uint64_t CbrArrivals::next_arrival() {
+  std::uint64_t at = next_;
+  next_ += period_;
+  return at;
+}
+
+BurstyArrivals::BurstyArrivals(double burst_start_p, double burst_stop_p,
+                               std::uint64_t burst_gap, std::uint64_t seed)
+    : start_p_(burst_start_p),
+      stop_p_(burst_stop_p),
+      gap_(burst_gap == 0 ? 1 : burst_gap),
+      rng_(seed) {}
+
+std::uint64_t BurstyArrivals::next_arrival() {
+  while (true) {
+    if (in_burst_) {
+      now_ += gap_;
+      if (rng_.next_bool(stop_p_)) in_burst_ = false;
+      return now_;
+    }
+    now_ += rng_.next_geometric(start_p_);
+    in_burst_ = true;
+    return now_;
+  }
+}
+
+std::function<bool(std::uint64_t)> arrival_gate(
+    std::shared_ptr<ArrivalProcess> process) {
+  auto next = std::make_shared<std::uint64_t>(process->next_arrival());
+  return [process, next](std::uint64_t cycle) {
+    if (cycle >= *next) {
+      *next = process->next_arrival();
+      return true;
+    }
+    return false;
+  };
+}
+
+Packet PacketFactory::make() {
+  Packet p;
+  p.header.identification = next_id_++;
+  p.header.ttl = static_cast<std::uint8_t>(rng_.next_range(2, 64));
+  // Source/destination drawn from a handful of /16 networks so LPM tables
+  // with a few routes classify them meaningfully.
+  std::uint32_t src_net = static_cast<std::uint32_t>(
+      (10u << 24) | (rng_.next_range(0, 7) << 16));
+  std::uint32_t dst_net = static_cast<std::uint32_t>(
+      (10u << 24) | (rng_.next_range(0, 7) << 16));
+  p.header.src = src_net | static_cast<std::uint32_t>(rng_.next_range(1, 65534));
+  p.header.dst = dst_net | static_cast<std::uint32_t>(rng_.next_range(1, 65534));
+  std::size_t payload = rng_.next_range(0, 64);
+  p.payload.assign(payload, 0);
+  for (auto& b : p.payload) {
+    b = static_cast<std::uint8_t>(rng_.next_below(256));
+  }
+  p.header.total_length = static_cast<std::uint16_t>(20 + payload);
+  p.header.finalize_checksum();
+  return p;
+}
+
+}  // namespace hicsync::netapp

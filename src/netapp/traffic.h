@@ -1,0 +1,85 @@
+// Synthetic packet traffic models.
+//
+// §3.1: "the writes happen when packets arrive from a network and are
+// probabilistic in nature." These generators produce arrival processes that
+// gate producer threads in the system simulator (the substitution for a
+// live Gigabit Ethernet interface — see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "netapp/packet.h"
+#include "support/rng.h"
+
+namespace hicsync::netapp {
+
+/// Arrival process over cycles: next_arrival() yields strictly increasing
+/// cycle numbers.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  virtual std::uint64_t next_arrival() = 0;
+};
+
+/// Bernoulli/geometric arrivals: each cycle a packet arrives with
+/// probability p (the discrete Poisson analogue).
+class PoissonArrivals : public ArrivalProcess {
+ public:
+  PoissonArrivals(double probability_per_cycle, std::uint64_t seed);
+  std::uint64_t next_arrival() override;
+
+ private:
+  double p_;
+  support::Rng rng_;
+  std::uint64_t now_ = 0;
+};
+
+/// Constant bit rate: one packet every `period` cycles (first at `phase`).
+class CbrArrivals : public ArrivalProcess {
+ public:
+  explicit CbrArrivals(std::uint64_t period, std::uint64_t phase = 0);
+  std::uint64_t next_arrival() override;
+
+ private:
+  std::uint64_t period_;
+  std::uint64_t next_;
+};
+
+/// Two-state on/off burst model: during a burst, arrivals are back-to-back
+/// every `burst_gap` cycles; bursts of geometric length separated by
+/// geometric idle gaps.
+class BurstyArrivals : public ArrivalProcess {
+ public:
+  BurstyArrivals(double burst_start_p, double burst_stop_p,
+                 std::uint64_t burst_gap, std::uint64_t seed);
+  std::uint64_t next_arrival() override;
+
+ private:
+  double start_p_;
+  double stop_p_;
+  std::uint64_t gap_;
+  support::Rng rng_;
+  std::uint64_t now_ = 0;
+  bool in_burst_ = false;
+};
+
+/// Gate function for SystemSim: releases one producer pass per arrival.
+/// The returned callable is stateful; each release consumes one arrival.
+[[nodiscard]] std::function<bool(std::uint64_t)> arrival_gate(
+    std::shared_ptr<ArrivalProcess> process);
+
+/// Deterministic random packet factory (addresses from a pool of /16s).
+class PacketFactory {
+ public:
+  explicit PacketFactory(std::uint64_t seed) : rng_(seed) {}
+  [[nodiscard]] Packet make();
+
+ private:
+  support::Rng rng_;
+  std::uint16_t next_id_ = 1;
+};
+
+}  // namespace hicsync::netapp

@@ -1,0 +1,249 @@
+#include "rtl/eval.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace hicsync::rtl {
+namespace {
+
+void collect_refs(const RtlExpr& e, std::set<int>& refs) {
+  if (e.op == RtlOp::Ref) refs.insert(e.net);
+  for (const auto& a : e.args) collect_refs(*a, refs);
+}
+
+}  // namespace
+
+ModuleSim::ModuleSim(const Module& module) : module_(module) {
+  if (!module.instances().empty()) {
+    throw std::runtime_error("ModuleSim: instances are not supported (" +
+                             module.name() + ")");
+  }
+  values_.assign(module.nets().size(), 0);
+  for (const Net& n : module.nets()) names_[n.name] = n.id;
+  for (const Memory& m : module.memories()) {
+    memories_[m.name].assign(static_cast<std::size_t>(m.depth), 0);
+  }
+
+  // Topologically order the continuous assigns.
+  const auto& assigns = module.assigns();
+  const std::size_t n = assigns.size();
+  // driver_of[net] = assign index
+  std::map<int, int> driver_of;
+  for (std::size_t i = 0; i < n; ++i) {
+    driver_of[assigns[i].target] = static_cast<int>(i);
+  }
+  // Dependencies between assigns.
+  std::vector<std::vector<int>> deps(n);  // assign i depends on deps[i]
+  std::vector<int> indegree(n, 0);
+  std::vector<std::vector<int>> dependents(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::set<int> refs;
+    collect_refs(*assigns[i].value, refs);
+    for (int r : refs) {
+      auto it = driver_of.find(r);
+      if (it != driver_of.end()) {
+        dependents[static_cast<std::size_t>(it->second)].push_back(
+            static_cast<int>(i));
+        ++indegree[i];
+      }
+    }
+  }
+  std::vector<int> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(static_cast<int>(i));
+  }
+  while (!ready.empty()) {
+    int i = ready.back();
+    ready.pop_back();
+    order_.push_back(i);
+    for (int d : dependents[static_cast<std::size_t>(i)]) {
+      if (--indegree[static_cast<std::size_t>(d)] == 0) ready.push_back(d);
+    }
+  }
+  if (order_.size() != n) {
+    throw std::runtime_error("ModuleSim: combinational cycle in " +
+                             module.name());
+  }
+  settle();
+}
+
+std::uint64_t ModuleSim::mask(std::uint64_t v, int width) {
+  if (width >= 64) return v;
+  return v & ((1ULL << width) - 1);
+}
+
+int ModuleSim::net_id(const std::string& name) const {
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    throw std::runtime_error("ModuleSim: no net named '" + name + "'");
+  }
+  return it->second;
+}
+
+void ModuleSim::set_input(const std::string& name, std::uint64_t value) {
+  int id = net_id(name);
+  values_[static_cast<std::size_t>(id)] =
+      mask(value, module_.net(id).width);
+}
+
+std::uint64_t ModuleSim::get(const std::string& name) const {
+  return values_[static_cast<std::size_t>(net_id(name))];
+}
+
+std::uint64_t ModuleSim::eval(const RtlExpr& e) const {
+  switch (e.op) {
+    case RtlOp::Const:
+      return e.value;
+    case RtlOp::Ref:
+      return values_[static_cast<std::size_t>(e.net)];
+    case RtlOp::Slice: {
+      std::uint64_t v = eval(*e.args[0]);
+      return mask(v >> e.lo, e.hi - e.lo + 1);
+    }
+    case RtlOp::Concat: {
+      std::uint64_t v = 0;
+      for (const auto& a : e.args) {
+        v = (v << a->width) | mask(eval(*a), a->width);
+      }
+      return mask(v, e.width);
+    }
+    case RtlOp::Not:
+      return mask(~eval(*e.args[0]), e.width);
+    case RtlOp::And:
+      return mask(eval(*e.args[0]) & eval(*e.args[1]), e.width);
+    case RtlOp::Or:
+      return mask(eval(*e.args[0]) | eval(*e.args[1]), e.width);
+    case RtlOp::Xor:
+      return mask(eval(*e.args[0]) ^ eval(*e.args[1]), e.width);
+    case RtlOp::Add:
+      return mask(eval(*e.args[0]) + eval(*e.args[1]), e.width);
+    case RtlOp::Sub:
+      return mask(eval(*e.args[0]) - eval(*e.args[1]), e.width);
+    case RtlOp::Eq:
+      return eval(*e.args[0]) == eval(*e.args[1]) ? 1 : 0;
+    case RtlOp::Ne:
+      return eval(*e.args[0]) != eval(*e.args[1]) ? 1 : 0;
+    case RtlOp::Lt:
+      return eval(*e.args[0]) < eval(*e.args[1]) ? 1 : 0;
+    case RtlOp::Le:
+      return eval(*e.args[0]) <= eval(*e.args[1]) ? 1 : 0;
+    case RtlOp::Shl:
+      return mask(eval(*e.args[0]) << eval(*e.args[1]), e.width);
+    case RtlOp::Shr:
+      return mask(eval(*e.args[0]) >> eval(*e.args[1]), e.width);
+    case RtlOp::Mux:
+      return mask(eval(*e.args[0]) != 0 ? eval(*e.args[1])
+                                        : eval(*e.args[2]),
+                  e.width);
+    case RtlOp::ReduceOr:
+      return eval(*e.args[0]) != 0 ? 1 : 0;
+    case RtlOp::ReduceAnd:
+      return mask(eval(*e.args[0]), e.args[0]->width) ==
+                     mask(~0ULL, e.args[0]->width)
+                 ? 1
+                 : 0;
+  }
+  return 0;
+}
+
+void ModuleSim::settle() {
+  for (int i : order_) {
+    const ContAssign& a = module_.assigns()[static_cast<std::size_t>(i)];
+    values_[static_cast<std::size_t>(a.target)] =
+        mask(eval(*a.value), module_.net(a.target).width);
+  }
+}
+
+void ModuleSim::step() {
+  settle();
+
+  // Evaluate all next-state values with pre-edge combinational state.
+  struct Commit {
+    int target;
+    std::uint64_t value;
+  };
+  std::vector<Commit> reg_commits;
+  bool in_reset = false;
+  // Reset net, if the module has one.
+  auto rst_it = names_.find("rst");
+  if (rst_it != names_.end()) {
+    in_reset = values_[static_cast<std::size_t>(rst_it->second)] != 0;
+  }
+  for (const SeqAssign& s : module_.seqs()) {
+    if (in_reset && s.has_reset) {
+      reg_commits.push_back(Commit{s.target, s.reset_value});
+      continue;
+    }
+    if (s.enable != nullptr && eval(*s.enable) == 0) continue;
+    reg_commits.push_back(
+        Commit{s.target, mask(eval(*s.value),
+                              module_.net(s.target).width)});
+  }
+
+  struct MemCommit {
+    std::string mem;
+    std::size_t addr;
+    std::uint64_t value;
+  };
+  std::vector<MemCommit> mem_writes;
+  std::vector<Commit> mem_reads;
+  for (const Memory& mem : module_.memories()) {
+    auto& storage = memories_[mem.name];
+    for (const MemoryPort& p : mem.ports) {
+      std::size_t addr = static_cast<std::size_t>(eval(*p.addr)) %
+                         storage.size();
+      if (p.read_data >= 0) {
+        // Read-first: capture the pre-edge contents.
+        mem_reads.push_back(Commit{p.read_data,
+                                   mask(storage[addr], mem.width)});
+      }
+      if (p.write_enable != nullptr && eval(*p.write_enable) != 0 &&
+          !in_reset) {
+        mem_writes.push_back(
+            MemCommit{mem.name, addr, mask(eval(*p.write_data), mem.width)});
+      }
+    }
+  }
+
+  for (const Commit& c : reg_commits) {
+    values_[static_cast<std::size_t>(c.target)] = c.value;
+  }
+  for (const Commit& c : mem_reads) {
+    values_[static_cast<std::size_t>(c.target)] = c.value;
+  }
+  for (const MemCommit& w : mem_writes) {
+    memories_[w.mem][w.addr] = w.value;
+  }
+  ++cycles_;
+  settle();
+}
+
+void ModuleSim::reset() {
+  auto it = names_.find("rst");
+  if (it == names_.end()) return;
+  set_input("rst", 1);
+  step();
+  set_input("rst", 0);
+  settle();
+}
+
+std::uint64_t ModuleSim::read_mem(const std::string& mem,
+                                  std::size_t addr) const {
+  auto it = memories_.find(mem);
+  if (it == memories_.end()) {
+    throw std::runtime_error("ModuleSim: no memory named '" + mem + "'");
+  }
+  return it->second.at(addr);
+}
+
+void ModuleSim::write_mem(const std::string& mem, std::size_t addr,
+                          std::uint64_t value) {
+  auto it = memories_.find(mem);
+  if (it == memories_.end()) {
+    throw std::runtime_error("ModuleSim: no memory named '" + mem + "'");
+  }
+  it->second.at(addr) = value;
+}
+
+}  // namespace hicsync::rtl

@@ -1,0 +1,65 @@
+// Cycle-stepped functional evaluation of a single RTL module.
+//
+// Lets tests and the system simulator execute *generated* netlists (the
+// memory-organization controllers) rather than a separate behavioural model:
+// combinational assigns are settled to a fixpoint each cycle, then registers
+// and memory ports commit on the clock edge. Memories follow the BRAM
+// read-first convention (a simultaneous read sees the old contents).
+//
+// Instances are not elaborated — generators emit flat controller modules.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.h"
+
+namespace hicsync::rtl {
+
+class ModuleSim {
+ public:
+  /// Builds the evaluation order. Throws std::runtime_error on
+  /// combinational cycles or unsupported features (instances).
+  explicit ModuleSim(const Module& module);
+
+  /// Sets an input port value (masked to the port width).
+  void set_input(const std::string& name, std::uint64_t value);
+
+  /// Value of any named net after the last settle/step.
+  [[nodiscard]] std::uint64_t get(const std::string& name) const;
+
+  /// Re-evaluates combinational logic with current inputs/registers
+  /// (no clock edge).
+  void settle();
+
+  /// One clock cycle: settle, then commit registers and memory ports, then
+  /// settle again so outputs reflect the new state.
+  void step();
+
+  /// Applies reset for one cycle (rst=1, step, rst=0).
+  void reset();
+
+  /// Direct memory access for tests (word address).
+  [[nodiscard]] std::uint64_t read_mem(const std::string& mem,
+                                       std::size_t addr) const;
+  void write_mem(const std::string& mem, std::size_t addr,
+                 std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+
+ private:
+  [[nodiscard]] std::uint64_t eval(const RtlExpr& e) const;
+  [[nodiscard]] int net_id(const std::string& name) const;
+  [[nodiscard]] static std::uint64_t mask(std::uint64_t v, int width);
+
+  const Module& module_;
+  std::vector<std::uint64_t> values_;          // per net
+  std::vector<int> order_;                     // topo order of assigns_
+  std::map<std::string, std::vector<std::uint64_t>> memories_;
+  std::map<std::string, int> names_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace hicsync::rtl

@@ -1,0 +1,23 @@
+#include "sim/externs.h"
+
+namespace hicsync::sim {
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t ExternFuncs::eval(const std::string& name,
+                                const std::vector<std::uint64_t>& args) const {
+  auto it = fns_.find(name);
+  if (it != fns_.end()) return it->second(args);
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : name) h = mix(h, static_cast<std::uint64_t>(c));
+  for (std::uint64_t a : args) h = mix(h, a);
+  return h;
+}
+
+}  // namespace hicsync::sim

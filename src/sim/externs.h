@@ -1,0 +1,38 @@
+// Registry for the opaque computations of hic programs (f, g, h in Fig. 1).
+//
+// hic calls are "opaque combinational computations"; the simulator needs
+// concrete values. Applications register C++ callables; unregistered names
+// fall back to a deterministic mixing function so any program simulates
+// reproducibly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hicsync::sim {
+
+class ExternFuncs {
+ public:
+  using Fn = std::function<std::uint64_t(const std::vector<std::uint64_t>&)>;
+
+  void register_fn(const std::string& name, Fn fn) {
+    fns_[name] = std::move(fn);
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return fns_.count(name) != 0;
+  }
+
+  /// Evaluates `name(args)`; unregistered names use a deterministic mix of
+  /// the name hash and arguments.
+  [[nodiscard]] std::uint64_t eval(const std::string& name,
+                                   const std::vector<std::uint64_t>& args) const;
+
+ private:
+  std::map<std::string, Fn> fns_;
+};
+
+}  // namespace hicsync::sim

@@ -1,0 +1,881 @@
+#include "sim/system.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "memalloc/sizing.h"
+#include "support/bits.h"
+
+namespace hicsync::sim {
+
+const char* to_string(OrgKind k) {
+  switch (k) {
+    case OrgKind::Arbitrated: return "arbitrated";
+    case OrgKind::EventDriven: return "event-driven";
+  }
+  return "unknown";
+}
+
+std::uint64_t DepRound::completion_latency() const {
+  std::uint64_t last = produce_grant_cycle;
+  for (const auto& [thread, cycle] : consume_cycles) {
+    last = std::max(last, cycle);
+  }
+  return last - produce_grant_cycle;
+}
+
+namespace {
+
+std::uint64_t mask_width(std::uint64_t v, int width) {
+  if (width <= 0 || width >= 64) return v;
+  return v & ((1ULL << width) - 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Controller: one generated memory organization + its host-side bookkeeping.
+// ---------------------------------------------------------------------------
+
+struct SystemSim::Controller {
+  int bram_id = -1;
+  OrgKind kind = OrgKind::Arbitrated;
+  const memalloc::BramPortPlan* plan = nullptr;
+  std::vector<memorg::DepEntry> entries;
+  std::unique_ptr<rtl::ModuleSim> sim;
+
+  // Port A host-side sharing: one owner per cycle, rotating for fairness.
+  std::vector<std::string> a_waiters;
+  std::string a_owner;
+  std::size_t a_rotate = 0;
+
+  // Event-driven slot table: slot index of each (dep, endpoint).
+  struct SlotRef {
+    std::string dep_id;
+    bool is_producer = false;
+    int pseudo_port = 0;
+  };
+  std::vector<SlotRef> slot_table;
+
+  [[nodiscard]] int pseudo_port(const std::string& thread,
+                                memalloc::LogicalPort port) const {
+    const memalloc::PortClient* c = plan->client_for(thread, port);
+    return c != nullptr ? c->pseudo_port : -1;
+  }
+
+  /// Slot index of a dependency endpoint (event-driven only); -1 if absent.
+  [[nodiscard]] int slot_of(const std::string& dep_id, bool producer,
+                            int pseudo_port_index) const {
+    for (std::size_t s = 0; s < slot_table.size(); ++s) {
+      const SlotRef& r = slot_table[s];
+      if (r.dep_id == dep_id && r.is_producer == producer &&
+          r.pseudo_port == pseudo_port_index) {
+        return static_cast<int>(s);
+      }
+    }
+    return -1;
+  }
+
+  void begin_cycle() {
+    // Clear all request-style inputs; threads re-assert each cycle.
+    if (kind == OrgKind::Arbitrated) {
+      for (const auto& c : plan->clients) {
+        if (c.port == memalloc::LogicalPort::C) {
+          sim->set_input("c_req" + std::to_string(c.pseudo_port), 0);
+        } else if (c.port == memalloc::LogicalPort::D) {
+          sim->set_input("d_req" + std::to_string(c.pseudo_port), 0);
+        }
+      }
+    } else {
+      for (const auto& c : plan->clients) {
+        if (c.port == memalloc::LogicalPort::C) {
+          sim->set_input("c_req" + std::to_string(c.pseudo_port), 0);
+        } else if (c.port == memalloc::LogicalPort::D) {
+          sim->set_input("p_req" + std::to_string(c.pseudo_port), 0);
+        }
+      }
+    }
+    sim->set_input("a_en", 0);
+    sim->set_input("a_we", 0);
+    // Resolve port A ownership among last cycle's waiters.
+    if (!a_waiters.empty()) {
+      std::sort(a_waiters.begin(), a_waiters.end());
+      a_owner = a_waiters[a_rotate % a_waiters.size()];
+      ++a_rotate;
+    } else {
+      a_owner.clear();
+    }
+    a_waiters.clear();
+  }
+
+  /// Thread asks to use port A this cycle; true if it owns it.
+  bool claim_port_a(const std::string& thread) {
+    if (a_owner.empty()) a_owner = thread;  // first claimant wins
+    if (a_owner == thread) return true;
+    if (std::find(a_waiters.begin(), a_waiters.end(), thread) ==
+        a_waiters.end()) {
+      a_waiters.push_back(thread);
+    }
+    return false;
+  }
+
+  void release_port_a(const std::string& thread) {
+    if (a_owner == thread) a_owner.clear();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ThreadExec: interprets one synthesized FSM.
+// ---------------------------------------------------------------------------
+
+struct SystemSim::ThreadExec {
+  std::string name;
+  synth::ThreadFsm fsm;
+  std::map<const hic::Symbol*, std::uint64_t> regs;
+  std::function<bool(std::uint64_t)> gate;
+  int passes = 0;
+
+  enum class Mode { Gated, Plan, Fetch, Compute, Write, Advance, Halted };
+  Mode mode = Mode::Gated;
+  int state = -1;
+
+  // One memory operation in flight.
+  struct MemOp {
+    enum class Stage {
+      Idle,
+      PortA,          // waiting to own / issue on port A
+      PortA_Data,     // port A read issued, data next cycle
+      Request,        // arbitrated C/D request outstanding
+      WaitValid,      // waiting for read data valid
+      EvWaitSlot,     // event-driven: waiting for our slot
+      Done,
+    };
+    Stage stage = Stage::Idle;
+    Controller* ctrl = nullptr;
+    bool is_write = false;
+    synth::AccessRole role = synth::AccessRole::Plain;
+    const hic::Dependency* dep = nullptr;
+    std::uint64_t addr = 0;
+    std::uint64_t wdata = 0;
+    std::uint64_t result = 0;
+    int pseudo_port = -1;
+    int target_slot = -1;   // event-driven
+    std::size_t round = static_cast<std::size_t>(-1);  // DepRound index
+  };
+
+  // Execution plan of the current state: one entry per statement (the
+  // scheduler may have chained several into the state).
+  struct StmtPlan {
+    const hic::Stmt* stmt = nullptr;   // Assign; nullptr for a branch cond
+    const hic::Expr* cond = nullptr;   // Branch only
+    struct Operand {
+      const hic::Expr* expr = nullptr;
+      MemOp op;
+      bool fetched = false;
+    };
+    std::vector<Operand> operands;
+    MemOp write;
+    std::uint64_t computed = 0;
+    bool computed_valid = false;
+  };
+  std::vector<StmtPlan> plan;
+  std::size_t plan_index = 0;
+  std::size_t operand_index = 0;
+  std::uint64_t branch_value = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+SystemSim::SystemSim(const hic::Program& program, const hic::Sema& sema,
+                     const memalloc::MemoryMap& map,
+                     const std::vector<memalloc::BramPortPlan>& plans,
+                     SystemOptions options)
+    : program_(program), sema_(sema), map_(map), options_(options) {
+  // Generate one controller per BRAM.
+  for (const memalloc::BramInstance& bram : map.brams()) {
+    const memalloc::BramPortPlan* plan = nullptr;
+    for (const auto& p : plans) {
+      if (p.bram_id == bram.id) plan = &p;
+    }
+    if (plan == nullptr) {
+      throw std::runtime_error("SystemSim: no port plan for bram " +
+                               std::to_string(bram.id));
+    }
+    auto ctrl = std::make_unique<Controller>();
+    ctrl->bram_id = bram.id;
+    ctrl->kind = options.organization;
+    ctrl->plan = plan;
+    ctrl->entries = memorg::build_dep_entries(bram, *plan);
+    std::string name = "memorg_bram" + std::to_string(bram.id);
+    if (options.organization == OrgKind::Arbitrated) {
+      memorg::ArbitratedConfig cfg = memorg::arbitrated_config_from(bram, *plan);
+      rtl::Module& m = memorg::generate_arbitrated(design_, cfg, name);
+      ctrl->sim = std::make_unique<rtl::ModuleSim>(m);
+    } else {
+      memorg::EventDrivenConfig cfg =
+          memorg::eventdriven_config_from(bram, *plan);
+      rtl::Module& m = memorg::generate_eventdriven(design_, cfg, name);
+      ctrl->sim = std::make_unique<rtl::ModuleSim>(m);
+      // Mirror the generator's slot enumeration.
+      for (const memorg::DepEntry& e : ctrl->entries) {
+        ctrl->slot_table.push_back(
+            Controller::SlotRef{e.id, true, e.producer_port});
+        for (int cp : e.consumer_ports) {
+          ctrl->slot_table.push_back(Controller::SlotRef{e.id, false, cp});
+        }
+      }
+    }
+    ctrl->sim->reset();
+    controllers_.push_back(std::move(ctrl));
+  }
+
+  // Synthesize and stage every thread.
+  for (const hic::ThreadDecl& t : program.threads) {
+    auto exec = std::make_unique<ThreadExec>();
+    exec->name = t.name;
+    exec->fsm = synth::ThreadFsm::synthesize(t, sema);
+    const bool restart = options_.restart_threads;
+    exec->gate = [restart, raw = exec.get()](std::uint64_t) {
+      return restart || raw->passes == 0;
+    };
+    if (const auto* table = sema.thread_table(t.name)) {
+      for (hic::Symbol* s : table->symbols()) {
+        if (!memalloc::is_memory_resident(*s)) exec->regs[s] = 0;
+      }
+    }
+    threads_.push_back(std::move(exec));
+  }
+}
+
+SystemSim::~SystemSim() = default;
+
+SystemSim::ThreadExec* SystemSim::find_thread(const std::string& name) const {
+  for (const auto& t : threads_) {
+    if (t->name == name) return t.get();
+  }
+  return nullptr;
+}
+
+void SystemSim::set_gate(const std::string& thread,
+                         std::function<bool(std::uint64_t)> gate) {
+  ThreadExec* t = find_thread(thread);
+  if (t == nullptr) {
+    throw std::runtime_error("SystemSim: unknown thread '" + thread + "'");
+  }
+  t->gate = std::move(gate);
+}
+
+int SystemSim::passes(const std::string& thread) const {
+  ThreadExec* t = find_thread(thread);
+  return t != nullptr ? t->passes : 0;
+}
+
+std::uint64_t SystemSim::register_value(const std::string& thread,
+                                        const std::string& var) const {
+  ThreadExec* t = find_thread(thread);
+  if (t == nullptr) {
+    throw std::runtime_error("SystemSim: unknown thread '" + thread + "'");
+  }
+  hic::Symbol* sym = sema_.lookup(thread, var);
+  if (sym == nullptr) {
+    throw std::runtime_error("SystemSim: unknown variable '" + var + "'");
+  }
+  auto it = t->regs.find(sym);
+  if (it == t->regs.end()) {
+    throw std::runtime_error("SystemSim: '" + var + "' is memory-resident; "
+                             "inspect it through the controller");
+  }
+  return it->second;
+}
+
+bool SystemSim::is_blocked(const std::string& thread) const {
+  ThreadExec* t = find_thread(thread);
+  if (t == nullptr) return false;
+  return t->mode == ThreadExec::Mode::Fetch ||
+         t->mode == ThreadExec::Mode::Write;
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation and plan construction.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using ThreadExec = SystemSim::ThreadExec;
+
+bool expr_reads_memory(const hic::Expr& e) {
+  if ((e.kind == hic::ExprKind::VarRef || e.kind == hic::ExprKind::Index ||
+       e.kind == hic::ExprKind::Member) &&
+      e.symbol != nullptr && memalloc::is_memory_resident(*e.symbol)) {
+    return true;
+  }
+  for (const auto& op : e.operands) {
+    if (expr_reads_memory(*op)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// Declared outside the class to keep system.h slim.
+namespace detail {
+
+struct EvalCtx {
+  ThreadExec* thread;
+  const ExternFuncs* externs;
+  const std::map<const hic::Expr*, std::uint64_t>* memvals;
+};
+
+std::uint64_t eval_expr(const hic::Expr& e, const EvalCtx& ctx) {
+  // Memory operands were fetched ahead of time.
+  if (ctx.memvals != nullptr) {
+    auto it = ctx.memvals->find(&e);
+    if (it != ctx.memvals->end()) return it->second;
+  }
+  switch (e.kind) {
+    case hic::ExprKind::IntLit:
+    case hic::ExprKind::CharLit:
+      return e.int_value;
+    case hic::ExprKind::VarRef: {
+      auto it = ctx.thread->regs.find(e.symbol);
+      if (it == ctx.thread->regs.end()) {
+        throw std::runtime_error("sim: unfetched memory operand " +
+                                 (e.symbol != nullptr
+                                      ? e.symbol->qualified_name()
+                                      : e.name));
+      }
+      return it->second;
+    }
+    case hic::ExprKind::Member: {
+      std::uint64_t v = eval_expr(*e.operands[0], ctx);
+      return mask_width(v, e.type != nullptr ? e.type->bit_width() : 64);
+    }
+    case hic::ExprKind::Index:
+      throw std::runtime_error("sim: array access must be a memory operand");
+    case hic::ExprKind::Unary: {
+      std::uint64_t v = eval_expr(*e.operands[0], ctx);
+      switch (e.unary_op) {
+        case hic::UnaryOp::Neg: v = ~v + 1; break;
+        case hic::UnaryOp::Not: v = (v == 0) ? 1 : 0; break;
+        case hic::UnaryOp::BitNot: v = ~v; break;
+      }
+      return mask_width(v, e.type != nullptr ? e.type->bit_width() : 64);
+    }
+    case hic::ExprKind::Binary: {
+      std::uint64_t a = eval_expr(*e.operands[0], ctx);
+      std::uint64_t b = eval_expr(*e.operands[1], ctx);
+      std::uint64_t v = 0;
+      switch (e.binary_op) {
+        case hic::BinaryOp::Add: v = a + b; break;
+        case hic::BinaryOp::Sub: v = a - b; break;
+        case hic::BinaryOp::Mul: v = a * b; break;
+        case hic::BinaryOp::Div: v = (b == 0) ? 0 : a / b; break;
+        case hic::BinaryOp::Mod: v = (b == 0) ? 0 : a % b; break;
+        case hic::BinaryOp::And: v = a & b; break;
+        case hic::BinaryOp::Or: v = a | b; break;
+        case hic::BinaryOp::Xor: v = a ^ b; break;
+        case hic::BinaryOp::Shl: v = b >= 64 ? 0 : a << b; break;
+        case hic::BinaryOp::Shr: v = b >= 64 ? 0 : a >> b; break;
+        case hic::BinaryOp::LogAnd: v = (a != 0 && b != 0) ? 1 : 0; break;
+        case hic::BinaryOp::LogOr: v = (a != 0 || b != 0) ? 1 : 0; break;
+        case hic::BinaryOp::Eq: v = (a == b) ? 1 : 0; break;
+        case hic::BinaryOp::Ne: v = (a != b) ? 1 : 0; break;
+        case hic::BinaryOp::Lt: v = (a < b) ? 1 : 0; break;
+        case hic::BinaryOp::Le: v = (a <= b) ? 1 : 0; break;
+        case hic::BinaryOp::Gt: v = (a > b) ? 1 : 0; break;
+        case hic::BinaryOp::Ge: v = (a >= b) ? 1 : 0; break;
+      }
+      return mask_width(v, e.type != nullptr ? e.type->bit_width() : 64);
+    }
+    case hic::ExprKind::Call: {
+      std::vector<std::uint64_t> args;
+      for (const auto& a : e.operands) args.push_back(eval_expr(*a, ctx));
+      return mask_width(ctx.externs->eval(e.name, args),
+                        e.type != nullptr ? e.type->bit_width() : 64);
+    }
+  }
+  return 0;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// The main simulation loop.
+// ---------------------------------------------------------------------------
+
+void SystemSim::step() {
+  for (auto& ctrl : controllers_) ctrl->begin_cycle();
+  drive_phase();
+  for (auto& ctrl : controllers_) ctrl->sim->settle();
+  observe_phase();
+  for (auto& ctrl : controllers_) ctrl->sim->step();
+  ++cycle_;
+}
+
+bool SystemSim::run_until_passes(int target, std::uint64_t max_cycles) {
+  std::uint64_t deadline = cycle_ + max_cycles;
+  while (cycle_ < deadline) {
+    bool all_done = true;
+    for (const auto& t : threads_) {
+      if (t->passes < target) all_done = false;
+    }
+    if (all_done) return true;
+    step();
+  }
+  for (const auto& t : threads_) {
+    if (t->passes < target) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Locates the StateAccess describing a symbol access in the current state.
+const synth::StateAccess* find_access(const synth::FsmState& s,
+                                      const hic::Symbol* sym, bool is_write) {
+  for (const synth::StateAccess& a : s.accesses) {
+    if (a.symbol == sym && a.is_write == is_write) return &a;
+  }
+  return nullptr;
+}
+
+}  // namespace
+namespace {
+
+using ThreadExecT = SystemSim::ThreadExec;
+
+void drive_mem_op(ThreadExecT& t, ThreadExecT::MemOp& mo) {
+  SystemSim::Controller& c = *mo.ctrl;
+  rtl::ModuleSim& sim = *c.sim;
+  switch (mo.stage) {
+    case ThreadExecT::MemOp::Stage::PortA:
+      if (c.claim_port_a(t.name)) {
+        sim.set_input("a_en", 1);
+        sim.set_input("a_we", mo.is_write ? 1 : 0);
+        sim.set_input("a_addr", mo.addr);
+        if (mo.is_write) sim.set_input("a_wdata", mo.wdata);
+      }
+      break;
+    case ThreadExecT::MemOp::Stage::Request: {
+      if (mo.is_write) {
+        std::string p = std::to_string(mo.pseudo_port);
+        sim.set_input("d_req" + p, 1);
+        sim.set_input("d_addr" + p, mo.addr);
+        sim.set_input("d_wdata" + p, mo.wdata);
+      } else {
+        std::string p = std::to_string(mo.pseudo_port);
+        sim.set_input("c_req" + p, 1);
+        sim.set_input("c_addr" + p, mo.addr);
+      }
+      break;
+    }
+    case ThreadExecT::MemOp::Stage::EvWaitSlot: {
+      // Slot is a register: reading it before settle is safe.
+      std::uint64_t slot = sim.get("slot");
+      if (static_cast<int>(slot) == mo.target_slot) {
+        std::string p = std::to_string(mo.pseudo_port);
+        if (mo.is_write) {
+          sim.set_input("p_req" + p, 1);
+          sim.set_input("p_addr" + p, mo.addr);
+          sim.set_input("p_wdata" + p, mo.wdata);
+        } else {
+          sim.set_input("c_req" + p, 1);
+          sim.set_input("c_addr" + p, mo.addr);
+        }
+      }
+      break;
+    }
+    case ThreadExecT::MemOp::Stage::PortA_Data:
+    case ThreadExecT::MemOp::Stage::WaitValid:
+    case ThreadExecT::MemOp::Stage::Idle:
+    case ThreadExecT::MemOp::Stage::Done:
+      break;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+template <typename OnProduce, typename OnConsume, typename OpenRound>
+void observe_mem_op(SystemSim::ThreadExec& t, SystemSim::ThreadExec::MemOp& mo,
+                    OnProduce&& record_produce, OnConsume&& record_consume,
+                    OpenRound&& open_round_of) {
+  SystemSim::Controller& c = *mo.ctrl;
+  rtl::ModuleSim& sim = *c.sim;
+  switch (mo.stage) {
+    case ThreadExec::MemOp::Stage::PortA:
+      if (c.a_owner == t.name) {
+        if (mo.is_write) {
+          mo.stage = ThreadExec::MemOp::Stage::Done;  // commits on this edge
+        } else {
+          mo.stage = ThreadExec::MemOp::Stage::PortA_Data;
+        }
+      }
+      break;
+    case ThreadExec::MemOp::Stage::PortA_Data:
+      // The read issued last cycle; a_rdata now holds the value.
+      mo.result = sim.get("a_rdata");
+      mo.stage = ThreadExec::MemOp::Stage::Done;
+      break;
+    case ThreadExec::MemOp::Stage::Request: {
+      std::string p = std::to_string(mo.pseudo_port);
+      if (mo.is_write) {
+        if (sim.get("d_grant" + p) != 0) {
+          record_produce(t, mo);
+          mo.stage = SystemSim::ThreadExec::MemOp::Stage::Done;
+        }
+      } else {
+        if (sim.get("c_grant" + p) != 0) {
+          mo.round = open_round_of(mo);
+          mo.stage = SystemSim::ThreadExec::MemOp::Stage::WaitValid;
+        }
+      }
+      break;
+    }
+    case SystemSim::ThreadExec::MemOp::Stage::EvWaitSlot: {
+      std::uint64_t slot = sim.get("slot");
+      if (static_cast<int>(slot) != mo.target_slot) break;
+      std::string p = std::to_string(mo.pseudo_port);
+      if (mo.is_write) {
+        if (sim.get("p_grant" + p) != 0) {
+          record_produce(t, mo);
+          mo.stage = SystemSim::ThreadExec::MemOp::Stage::Done;
+        }
+      } else {
+        // Our slot fires this edge iff our request was up.
+        if (sim.get("c_req" + p) != 0) {
+          mo.round = open_round_of(mo);
+          mo.stage = SystemSim::ThreadExec::MemOp::Stage::WaitValid;
+        }
+      }
+      break;
+    }
+    case SystemSim::ThreadExec::MemOp::Stage::WaitValid: {
+      std::string p = std::to_string(mo.pseudo_port);
+      if (sim.get("c_valid" + p) != 0) {
+        mo.result = sim.get("bus_rdata");
+        record_consume(t, mo);
+        mo.stage = SystemSim::ThreadExec::MemOp::Stage::Done;
+      }
+      break;
+    }
+    case SystemSim::ThreadExec::MemOp::Stage::Idle:
+    case SystemSim::ThreadExec::MemOp::Stage::Done:
+      break;
+  }
+}
+
+}  // namespace
+
+void SystemSim::drive_phase() {
+  for (auto& tp : threads_) {
+    ThreadExec& t = *tp;
+
+    // --- Mode transitions that need no controller interaction. ---
+    if (t.mode == ThreadExec::Mode::Gated) {
+      if (t.gate && t.gate(cycle_)) {
+        t.state = t.fsm.initial();
+        t.mode = ThreadExec::Mode::Plan;
+      } else {
+        continue;
+      }
+    }
+
+    if (t.mode == ThreadExec::Mode::Plan) {
+      const synth::FsmState& s = t.fsm.state(t.state);
+      if (s.kind == synth::StateKind::Done) {
+        ++t.passes;
+        t.mode = ThreadExec::Mode::Gated;
+        continue;
+      }
+      // Build the plan for this state.
+      t.plan.clear();
+      t.plan_index = 0;
+      t.operand_index = 0;
+      auto add_stmt_plan = [&](const hic::Stmt* stmt, const hic::Expr* cond) {
+        ThreadExec::StmtPlan p;
+        p.stmt = stmt;
+        p.cond = cond;
+        // Collect memory operands from the value/cond expression tree.
+        auto collect = [&](auto&& self, const hic::Expr& e) -> void {
+          bool is_mem_leaf =
+              (e.kind == hic::ExprKind::VarRef ||
+               e.kind == hic::ExprKind::Index ||
+               e.kind == hic::ExprKind::Member) &&
+              e.symbol != nullptr && memalloc::is_memory_resident(*e.symbol);
+          if (is_mem_leaf) {
+            ThreadExec::StmtPlan::Operand op;
+            op.expr = &e;
+            p.operands.push_back(op);
+            // Do not descend into the base; the index expression still
+            // needs register evaluation at fetch time, checked there.
+            return;
+          }
+          for (const auto& sub : e.operands) self(self, *sub);
+        };
+        if (cond != nullptr) collect(collect, *cond);
+        if (stmt != nullptr && stmt->kind == hic::StmtKind::Assign) {
+          collect(collect, *stmt->value);
+          // The target's index expression may also read memory — reject
+          // (documented restriction).
+          if (stmt->target->kind == hic::ExprKind::Index &&
+              expr_reads_memory(*stmt->target->operands[1])) {
+            throw std::runtime_error(
+                "sim: memory reads inside store index expressions are not "
+                "supported");
+          }
+        }
+        t.plan.push_back(std::move(p));
+      };
+      if (s.kind == synth::StateKind::Branch) {
+        add_stmt_plan(nullptr, s.cond);
+      } else {
+        add_stmt_plan(s.stmt, nullptr);
+        for (const hic::Stmt* c : s.chained) add_stmt_plan(c, nullptr);
+      }
+      t.mode = ThreadExec::Mode::Fetch;
+    }
+
+    if (t.mode != ThreadExec::Mode::Fetch &&
+        t.mode != ThreadExec::Mode::Write) {
+      continue;
+    }
+
+    const synth::FsmState& s = t.fsm.state(t.state);
+    ThreadExec::StmtPlan& p = t.plan[t.plan_index];
+
+    // --- Prepare the in-flight memory op, if a new one is needed. ---
+    auto locate = [&](const hic::Symbol* sym) {
+      auto loc = map_.locate(sym);
+      if (loc.bram == nullptr) {
+        throw std::runtime_error("sim: symbol not in memory map: " +
+                                 sym->qualified_name());
+      }
+      return loc;
+    };
+    auto controller_of = [&](int bram_id) -> Controller* {
+      for (auto& c : controllers_) {
+        if (c->bram_id == bram_id) return c.get();
+      }
+      throw std::runtime_error("sim: no controller for bram");
+    };
+
+    auto element_addr = [&](const hic::Expr& e,
+                            const memalloc::MemoryMap::Location& loc)
+        -> std::uint64_t {
+      std::uint64_t base = loc.placement->base_address;
+      if (e.kind == hic::ExprKind::Index) {
+        if (expr_reads_memory(*e.operands[1])) {
+          throw std::runtime_error(
+              "sim: memory reads inside index expressions are not supported");
+        }
+        detail::EvalCtx ctx{&t, &externs_, nullptr};
+        std::uint64_t idx = detail::eval_expr(*e.operands[1], ctx);
+        std::uint64_t words_per_elem =
+            loc.placement->words / e.symbol->element_count();
+        if (words_per_elem == 0) words_per_elem = 1;
+        std::uint64_t elems = e.symbol->element_count();
+        return base + (idx % elems) * words_per_elem;
+      }
+      return base;
+    };
+
+    if (t.mode == ThreadExec::Mode::Fetch) {
+      // All operands fetched? Compute and move to write.
+      while (t.operand_index < p.operands.size() &&
+             p.operands[t.operand_index].fetched) {
+        ++t.operand_index;
+      }
+      if (t.operand_index >= p.operands.size()) {
+        // Compute this statement's value.
+        std::map<const hic::Expr*, std::uint64_t> memvals;
+        for (const auto& op : p.operands) memvals[op.expr] = op.op.result;
+        detail::EvalCtx ctx{&t, &externs_, &memvals};
+        if (p.cond != nullptr) {
+          t.branch_value = detail::eval_expr(*p.cond, ctx);
+          p.computed_valid = true;
+          t.mode = ThreadExec::Mode::Advance;
+        } else {
+          p.computed = detail::eval_expr(*p.stmt->value, ctx);
+          p.computed_valid = true;
+          // Set up the write.
+          const hic::Expr* target = p.stmt->target.get();
+          const hic::Expr* root = target;
+          while (root->kind == hic::ExprKind::Index ||
+                 root->kind == hic::ExprKind::Member) {
+            root = root->operands[0].get();
+          }
+          hic::Symbol* sym = root->symbol;
+          if (sym != nullptr && memalloc::is_memory_resident(*sym)) {
+            auto loc = locate(sym);
+            p.write.ctrl = controller_of(loc.bram->id);
+            p.write.is_write = true;
+            p.write.addr = element_addr(*target, loc);
+            p.write.wdata =
+                mask_width(p.computed, sym->type()->bit_width());
+            const synth::StateAccess* acc = find_access(s, sym, true);
+            p.write.role = acc != nullptr ? acc->role
+                                          : synth::AccessRole::Plain;
+            p.write.dep = acc != nullptr ? acc->dep : nullptr;
+            p.write.stage = ThreadExec::MemOp::Stage::Idle;
+            t.mode = ThreadExec::Mode::Write;
+          } else {
+            // Register write completes instantly.
+            if (sym != nullptr) {
+              t.regs[sym] =
+                  mask_width(p.computed, sym->type()->bit_width());
+            }
+            t.mode = ThreadExec::Mode::Advance;
+          }
+        }
+      } else {
+        // Drive the current operand's memory op.
+        ThreadExec::StmtPlan::Operand& op = p.operands[t.operand_index];
+        ThreadExec::MemOp& mo = op.op;
+        if (mo.stage == ThreadExec::MemOp::Stage::Idle) {
+          auto loc = locate(op.expr->symbol);
+          mo.ctrl = controller_of(loc.bram->id);
+          mo.is_write = false;
+          mo.addr = element_addr(*op.expr, loc);
+          const synth::StateAccess* acc =
+              find_access(s, op.expr->symbol, false);
+          mo.role = acc != nullptr ? acc->role : synth::AccessRole::Plain;
+          mo.dep = acc != nullptr ? acc->dep : nullptr;
+          if (mo.role == synth::AccessRole::ConsumerRead) {
+            mo.pseudo_port =
+                mo.ctrl->pseudo_port(t.name, memalloc::LogicalPort::C);
+            if (mo.ctrl->kind == OrgKind::EventDriven) {
+              mo.target_slot =
+                  mo.ctrl->slot_of(mo.dep->id, false, mo.pseudo_port);
+              mo.stage = ThreadExec::MemOp::Stage::EvWaitSlot;
+            } else {
+              mo.stage = ThreadExec::MemOp::Stage::Request;
+            }
+          } else {
+            mo.stage = ThreadExec::MemOp::Stage::PortA;
+          }
+        }
+        drive_mem_op(t, mo);
+      }
+    }
+
+    if (t.mode == ThreadExec::Mode::Write) {
+      ThreadExec::MemOp& mo = p.write;
+      if (mo.stage == ThreadExec::MemOp::Stage::Idle) {
+        if (mo.role == synth::AccessRole::ProducerWrite) {
+          mo.pseudo_port =
+              mo.ctrl->pseudo_port(t.name, memalloc::LogicalPort::D);
+          if (mo.ctrl->kind == OrgKind::EventDriven) {
+            mo.target_slot = mo.ctrl->slot_of(mo.dep->id, true,
+                                              mo.pseudo_port);
+            mo.stage = ThreadExec::MemOp::Stage::EvWaitSlot;
+          } else {
+            mo.stage = ThreadExec::MemOp::Stage::Request;
+          }
+        } else {
+          mo.stage = ThreadExec::MemOp::Stage::PortA;
+        }
+      }
+      drive_mem_op(t, mo);
+    }
+  }
+}
+void SystemSim::observe_phase() {
+  for (auto& tp : threads_) {
+    ThreadExec& t = *tp;
+    if (t.mode != ThreadExec::Mode::Fetch &&
+        t.mode != ThreadExec::Mode::Write &&
+        t.mode != ThreadExec::Mode::Advance) {
+      continue;
+    }
+
+    if (t.mode == ThreadExec::Mode::Fetch ||
+        t.mode == ThreadExec::Mode::Write) {
+      ThreadExec::StmtPlan& p = t.plan[t.plan_index];
+      ThreadExec::MemOp* mo = nullptr;
+      if (t.mode == ThreadExec::Mode::Fetch &&
+          t.operand_index < p.operands.size()) {
+        mo = &p.operands[t.operand_index].op;
+      } else if (t.mode == ThreadExec::Mode::Write) {
+        mo = &p.write;
+      }
+      if (mo != nullptr && mo->ctrl != nullptr) {
+        observe_mem_op(
+            t, *mo,
+            [this](ThreadExec& te, ThreadExec::MemOp& m2) {
+              if (m2.dep == nullptr) return;
+              DepRound round;
+              round.dep_id = m2.dep->id;
+              round.produce_grant_cycle = cycle_;
+              open_round_[m2.dep->id] = rounds_.size();
+              rounds_.push_back(std::move(round));
+              (void)te;
+            },
+            [this](ThreadExec& te, ThreadExec::MemOp& m2) {
+              if (m2.dep == nullptr) return;
+              if (m2.round >= rounds_.size()) return;
+              rounds_[m2.round].consume_cycles.emplace_back(te.name, cycle_);
+            },
+            [this](ThreadExec::MemOp& m2) -> std::size_t {
+              if (m2.dep == nullptr) return static_cast<std::size_t>(-1);
+              auto it = open_round_.find(m2.dep->id);
+              return it == open_round_.end() ? static_cast<std::size_t>(-1)
+                                             : it->second;
+            });
+        if (mo->stage == ThreadExec::MemOp::Stage::Done) {
+          if (t.mode == ThreadExec::Mode::Fetch) {
+            p.operands[t.operand_index].fetched = true;
+            mo->ctrl->release_port_a(t.name);
+            // Fetch loop continues next cycle (or computes next drive).
+          } else {
+            mo->ctrl->release_port_a(t.name);
+            t.mode = ThreadExec::Mode::Advance;
+          }
+        }
+      }
+    }
+
+    if (t.mode == ThreadExec::Mode::Advance) {
+      ThreadExec::StmtPlan& p = t.plan[t.plan_index];
+      if (p.cond == nullptr && t.plan_index + 1 < t.plan.size()) {
+        // Chained statement: move to the next statement in this state.
+        ++t.plan_index;
+        t.operand_index = 0;
+        t.mode = ThreadExec::Mode::Fetch;
+        continue;
+      }
+      // Choose the successor state.
+      const synth::FsmState& s = t.fsm.state(t.state);
+      int next = -1;
+      switch (s.kind) {
+        case synth::StateKind::Action:
+          next = s.next;
+          break;
+        case synth::StateKind::Branch:
+          if (s.case_targets.empty()) {
+            next = (t.branch_value != 0) ? s.true_target : s.false_target;
+          } else {
+            for (const synth::CaseTransition& ct : s.case_targets) {
+              if (!ct.is_default && ct.value == t.branch_value) {
+                next = ct.target;
+                break;
+              }
+            }
+            if (next < 0) {
+              for (const synth::CaseTransition& ct : s.case_targets) {
+                if (ct.is_default) next = ct.target;
+              }
+            }
+          }
+          break;
+        case synth::StateKind::Done:
+          next = t.state;
+          break;
+      }
+      t.state = next;
+      t.mode = ThreadExec::Mode::Plan;
+    }
+  }
+}
+}  // namespace hicsync::sim

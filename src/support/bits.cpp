@@ -1,0 +1,6 @@
+#include "support/bits.h"
+
+// All helpers are constexpr in the header; this TU exists so the library has
+// a stable archive member for the component and to host any future
+// non-inline additions.
+namespace hicsync::support {}

@@ -1,0 +1,52 @@
+// Bit-level helpers used by the memory allocator, RTL builders, and the
+// technology mapper.
+#pragma once
+
+#include <cstdint>
+
+namespace hicsync::support {
+
+/// Smallest number of bits needed to represent values 0..n-1.
+/// clog2(0) == clog2(1) == 0 by convention (a 1-entry space needs no bits,
+/// but most callers clamp to at least 1 for a usable signal).
+[[nodiscard]] constexpr int clog2(std::uint64_t n) {
+  int bits = 0;
+  std::uint64_t capacity = 1;
+  while (capacity < n) {
+    capacity <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// clog2 clamped to >= 1, for signals that must exist even for n <= 2.
+[[nodiscard]] constexpr int clog2_at_least1(std::uint64_t n) {
+  int b = clog2(n);
+  return b < 1 ? 1 : b;
+}
+
+/// Round `v` up to the next multiple of `m` (m > 0).
+[[nodiscard]] constexpr std::uint64_t round_up(std::uint64_t v,
+                                               std::uint64_t m) {
+  return ((v + m - 1) / m) * m;
+}
+
+/// True if v is a power of two (v > 0).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// Next power of two >= v (v >= 1).
+[[nodiscard]] constexpr std::uint64_t next_pow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Mask with the low `bits` bits set (bits in [0,64]).
+[[nodiscard]] constexpr std::uint64_t low_mask(int bits) {
+  if (bits >= 64) return ~0ULL;
+  return (1ULL << bits) - 1;
+}
+
+}  // namespace hicsync::support

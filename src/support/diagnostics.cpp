@@ -1,0 +1,56 @@
+#include "support/diagnostics.h"
+
+namespace hicsync::support {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::string out;
+  if (loc.valid()) {
+    out += loc.str();
+    out += ": ";
+  }
+  out += to_string(severity);
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void DiagnosticEngine::report(Severity sev, SourceLoc loc,
+                              std::string message) {
+  if (sev == Severity::Error) ++error_count_;
+  diags_.push_back(Diagnostic{sev, loc, std::move(message)});
+}
+
+bool DiagnosticEngine::contains(const std::string& needle) const {
+  for (const auto& d : diags_) {
+    if (d.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string out;
+  for (const auto& d : diags_) {
+    out += d.str();
+    out += '\n';
+  }
+  return out;
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace hicsync::support

@@ -1,0 +1,76 @@
+// Diagnostic engine shared by all compiler stages.
+//
+// Stages report errors/warnings/notes against source locations; the engine
+// accumulates them so that a driver can print everything at once and tests
+// can assert on specific diagnostics. Fatal front-end failures also throw
+// CompileError so deep recursion can unwind without sentinel values.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/source_location.h"
+
+namespace hicsync::support {
+
+enum class Severity { Note, Warning, Error };
+
+[[nodiscard]] const char* to_string(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Thrown for unrecoverable compile failures (parse errors the parser cannot
+/// recover from, or internal invariant violations in later stages).
+class CompileError : public std::runtime_error {
+ public:
+  CompileError(SourceLoc loc, const std::string& message)
+      : std::runtime_error(loc.valid() ? loc.str() + ": " + message : message),
+        loc_(loc) {}
+
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Accumulates diagnostics across compiler stages.
+class DiagnosticEngine {
+ public:
+  void report(Severity sev, SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message) {
+    report(Severity::Error, loc, std::move(message));
+  }
+  void warning(SourceLoc loc, std::string message) {
+    report(Severity::Warning, loc, std::move(message));
+  }
+  void note(SourceLoc loc, std::string message) {
+    report(Severity::Note, loc, std::move(message));
+  }
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+
+  /// True if any diagnostic message contains `needle` (test convenience).
+  [[nodiscard]] bool contains(const std::string& needle) const;
+
+  /// All diagnostics rendered one per line.
+  [[nodiscard]] std::string str() const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace hicsync::support

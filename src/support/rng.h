@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generator for traffic models and tests.
+//
+// A fixed splitmix64/xoshiro256** implementation so results are identical
+// across platforms and standard-library versions (std::mt19937 would also be
+// portable, but distributions are not; we implement our own).
+#pragma once
+
+#include <cstdint>
+
+namespace hicsync::support {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) for bound >= 1 (unbiased via rejection).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Geometric inter-arrival gap: number of whole cycles until the next
+  /// arrival given a per-cycle arrival probability p in (0, 1].
+  /// Returns >= 1.
+  std::uint64_t next_geometric(double p);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi);
+
+ private:
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace hicsync::support

@@ -1,0 +1,18 @@
+#include "support/source_location.h"
+
+namespace hicsync::support {
+
+std::string SourceLoc::str() const {
+  if (!valid()) return "<unknown>";
+  return std::to_string(line) + ":" + std::to_string(column);
+}
+
+std::string SourceRange::str() const {
+  if (!valid()) return "<unknown>";
+  if (begin.line == end.line) {
+    return begin.str() + "-" + std::to_string(end.column);
+  }
+  return begin.str() + "-" + end.str();
+}
+
+}  // namespace hicsync::support

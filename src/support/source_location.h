@@ -1,0 +1,38 @@
+// Source locations and ranges for hic source text.
+//
+// Every token, AST node, and diagnostic carries a SourceLoc so that errors
+// from any compiler stage (lexing through memory-organization generation)
+// point back at the offending hic text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hicsync::support {
+
+/// A position in a hic source buffer. Lines and columns are 1-based;
+/// offset is the 0-based byte offset into the buffer. An invalid (default)
+/// location has line == 0.
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+  std::uint32_t offset = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// A half-open range [begin, end) of source text.
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+
+  [[nodiscard]] bool valid() const { return begin.valid(); }
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const SourceRange&, const SourceRange&) = default;
+};
+
+}  // namespace hicsync::support

@@ -1,0 +1,30 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary prints paper-style rows (e.g. "P/C  LUT  FF  Slices");
+// this keeps the formatting in one place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hicsync::support {
+
+/// A simple left/right-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column padding, a separator under the header.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hicsync::support

@@ -1,0 +1,138 @@
+#include "synth/datapath.h"
+
+#include <algorithm>
+
+namespace hicsync::synth {
+
+const char* to_string(OpClass c) {
+  switch (c) {
+    case OpClass::AddSub: return "add/sub";
+    case OpClass::Mul: return "mul";
+    case OpClass::DivMod: return "div/mod";
+    case OpClass::Bitwise: return "bitwise";
+    case OpClass::Shift: return "shift";
+    case OpClass::Compare: return "compare";
+    case OpClass::Logical: return "logical";
+    case OpClass::Mux: return "mux";
+    case OpClass::ExternCall: return "extern-call";
+  }
+  return "unknown";
+}
+
+namespace {
+
+OpClass classify(hic::BinaryOp op) {
+  switch (op) {
+    case hic::BinaryOp::Add:
+    case hic::BinaryOp::Sub:
+      return OpClass::AddSub;
+    case hic::BinaryOp::Mul:
+      return OpClass::Mul;
+    case hic::BinaryOp::Div:
+    case hic::BinaryOp::Mod:
+      return OpClass::DivMod;
+    case hic::BinaryOp::And:
+    case hic::BinaryOp::Or:
+    case hic::BinaryOp::Xor:
+      return OpClass::Bitwise;
+    case hic::BinaryOp::Shl:
+    case hic::BinaryOp::Shr:
+      return OpClass::Shift;
+    case hic::BinaryOp::LogAnd:
+    case hic::BinaryOp::LogOr:
+      return OpClass::Logical;
+    default:
+      return OpClass::Compare;
+  }
+}
+
+int width_of(const hic::Expr& e) {
+  return e.type != nullptr ? e.type->bit_width() : 0;
+}
+
+}  // namespace
+
+void DatapathSummary::collect(const hic::Expr& e, int state) {
+  switch (e.kind) {
+    case hic::ExprKind::Binary: {
+      int w = std::max(width_of(*e.operands[0]), width_of(*e.operands[1]));
+      ops_.push_back(OpInstance{classify(e.binary_op), w, state});
+      break;
+    }
+    case hic::ExprKind::Unary: {
+      OpClass cls = OpClass::Bitwise;
+      if (e.unary_op == hic::UnaryOp::Neg) cls = OpClass::AddSub;
+      if (e.unary_op == hic::UnaryOp::Not) cls = OpClass::Logical;
+      ops_.push_back(OpInstance{cls, width_of(*e.operands[0]), state});
+      break;
+    }
+    case hic::ExprKind::Call:
+      ops_.push_back(OpInstance{OpClass::ExternCall, width_of(e), state});
+      break;
+    default:
+      break;
+  }
+  for (const auto& op : e.operands) collect(*op, state);
+}
+
+DatapathSummary DatapathSummary::extract(const ThreadFsm& fsm) {
+  DatapathSummary d;
+  for (const FsmState& s : fsm.states()) {
+    if (s.kind == StateKind::Action && s.stmt != nullptr) {
+      d.collect(*s.stmt->value, s.id);
+      d.collect(*s.stmt->target, s.id);
+      for (const hic::Stmt* c : s.chained) {
+        if (c != nullptr && c->kind == hic::StmtKind::Assign) {
+          d.collect(*c->value, s.id);
+          d.collect(*c->target, s.id);
+        }
+      }
+    } else if (s.kind == StateKind::Branch && s.cond != nullptr) {
+      d.collect(*s.cond, s.id);
+      // The branch decision itself steers the FSM: count one mux of the
+      // state-register width.
+      d.ops_.push_back(OpInstance{OpClass::Mux, fsm.state_bits(), s.id});
+    }
+  }
+  return d;
+}
+
+int DatapathSummary::count(OpClass cls) const {
+  int n = 0;
+  for (const auto& op : ops_) {
+    if (op.cls == cls) ++n;
+  }
+  return n;
+}
+
+int DatapathSummary::max_width() const {
+  int w = 0;
+  for (const auto& op : ops_) w = std::max(w, op.width);
+  return w;
+}
+
+std::map<OpClass, int> DatapathSummary::peak_per_state() const {
+  // count per (state, class)
+  std::map<std::pair<int, OpClass>, int> per_state;
+  for (const auto& op : ops_) {
+    ++per_state[{op.state, op.cls}];
+  }
+  std::map<OpClass, int> peak;
+  for (const auto& [key, n] : per_state) {
+    auto& p = peak[key.second];
+    p = std::max(p, n);
+  }
+  return peak;
+}
+
+std::string DatapathSummary::str() const {
+  std::string out;
+  auto peak = peak_per_state();
+  for (const auto& [cls, n] : peak) {
+    out += std::string(to_string(cls)) + ": peak " + std::to_string(n) +
+           " / total " + std::to_string(count(cls)) + "\n";
+  }
+  return out;
+}
+
+}  // namespace hicsync::synth

@@ -1,0 +1,61 @@
+// Datapath extraction: combinational operator inventory of a thread.
+//
+// Behavioural synthesis binds each expression operator to datapath hardware.
+// This summary (operator kinds × bit widths) is what the technology mapper
+// uses to estimate the logic cost of a thread body, complementing the
+// memory-controller costs that Tables 1 and 2 of the paper isolate.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hic/ast.h"
+#include "synth/fsm.h"
+
+namespace hicsync::synth {
+
+enum class OpClass {
+  AddSub,     // + -
+  Mul,        // *
+  DivMod,     // / %
+  Bitwise,    // & | ^ ~
+  Shift,      // << >>
+  Compare,    // == != < <= > >=
+  Logical,    // && || !
+  Mux,        // control-flow select (one per branch decision)
+  ExternCall, // opaque f(...) computation
+};
+
+[[nodiscard]] const char* to_string(OpClass c);
+
+struct OpInstance {
+  OpClass cls;
+  int width = 0;        // operand bit width
+  int state = -1;       // FSM state executing the op
+};
+
+class DatapathSummary {
+ public:
+  /// Collects the operator inventory of a synthesized FSM.
+  static DatapathSummary extract(const ThreadFsm& fsm);
+
+  [[nodiscard]] const std::vector<OpInstance>& ops() const { return ops_; }
+  [[nodiscard]] int count(OpClass cls) const;
+  [[nodiscard]] int total() const { return static_cast<int>(ops_.size()); }
+  /// Widest operand across all ops (0 if none).
+  [[nodiscard]] int max_width() const;
+
+  /// Ops executed per state; resource sharing across states means the
+  /// hardware cost is driven by the *maximum* per-state usage of each class.
+  [[nodiscard]] std::map<OpClass, int> peak_per_state() const;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  void collect(const hic::Expr& e, int state);
+
+  std::vector<OpInstance> ops_;
+};
+
+}  // namespace hicsync::synth

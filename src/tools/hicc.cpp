@@ -1,0 +1,204 @@
+// hicc — the hic compiler command-line driver.
+//
+//   hicc [options] <file.hic | ->
+//
+//   --org arbitrated|event-driven   memory organization (default arbitrated)
+//   --emit-verilog <out.v>          write the generated controllers' RTL
+//   --report                        print the compilation report (default)
+//   --no-report
+//   --simulate <passes>             run the program cycle-accurately
+//   --chain                         enable operation chaining in synthesis
+//   --no-cam                        serial-scan dependency list (arbitrated)
+//   --infer                         infer producer/consumer pragmas (use-def)
+//   --dump-fsm                      print each thread's synthesized FSM
+//   --target-mhz <f>                timing target for the report
+//   --max-cycles <n>                simulation budget (default 100000)
+//
+// Exit status: 0 on success, 1 on compile error, 2 on usage error,
+// 3 on simulation timeout.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/compiler.h"
+#include "core/tbgen.h"
+
+using namespace hicsync;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] <file.hic | ->\n"
+               "  --org arbitrated|event-driven\n"
+               "  --emit-verilog <out.v>\n"
+               "  --emit-testbench <out_tb.v>\n"
+               "  --report | --no-report\n"
+               "  --simulate <passes>\n"
+               "  --chain\n"
+               "  --no-cam\n"
+               "  --infer\n"
+               "  --dump-fsm\n"
+               "  --target-mhz <f>\n"
+               "  --max-cycles <n>\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::CompileOptions options;
+  std::string input;
+  std::string verilog_out;
+  std::string testbench_out;
+  bool report = true;
+  bool dump_fsm = false;
+  int simulate_passes = 0;
+  std::uint64_t max_cycles = 100000;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--org") {
+      std::string org = next();
+      if (org == "arbitrated") {
+        options.organization = sim::OrgKind::Arbitrated;
+      } else if (org == "event-driven") {
+        options.organization = sim::OrgKind::EventDriven;
+      } else {
+        std::fprintf(stderr, "unknown organization '%s'\n", org.c_str());
+        return 2;
+      }
+    } else if (arg == "--emit-verilog") {
+      verilog_out = next();
+    } else if (arg == "--emit-testbench") {
+      testbench_out = next();
+    } else if (arg == "--report") {
+      report = true;
+    } else if (arg == "--no-report") {
+      report = false;
+    } else if (arg == "--simulate") {
+      simulate_passes = std::atoi(next());
+    } else if (arg == "--chain") {
+      options.schedule.chain_states = true;
+    } else if (arg == "--no-cam") {
+      options.use_cam = false;
+    } else if (arg == "--infer") {
+      options.infer_dependencies = true;
+    } else if (arg == "--dump-fsm") {
+      dump_fsm = true;
+    } else if (arg == "--target-mhz") {
+      options.target_clock_mhz = std::atof(next());
+    } else if (arg == "--max-cycles") {
+      max_cycles = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (input.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::string source;
+  if (input == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    source = ss.str();
+  } else {
+    std::ifstream in(input);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", input.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+  }
+
+  core::Compiler compiler(options);
+  auto result = compiler.compile(source);
+  if (!result->ok()) {
+    std::fprintf(stderr, "%s", result->diags().str().c_str());
+    return 1;
+  }
+  // Non-fatal diagnostics (warnings) still print.
+  for (const auto& d : result->diags().diagnostics()) {
+    std::fprintf(stderr, "%s\n", d.str().c_str());
+  }
+
+  if (report) {
+    std::printf("%s", core::render_report(*result).c_str());
+  }
+
+  if (dump_fsm) {
+    for (const auto& fsm : result->fsms()) {
+      std::printf("%s\n", fsm.str().c_str());
+    }
+  }
+
+  if (!verilog_out.empty()) {
+    std::ofstream out(verilog_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", verilog_out.c_str());
+      return 2;
+    }
+    out << result->verilog();
+    std::printf("wrote %s\n", verilog_out.c_str());
+  }
+
+  if (!testbench_out.empty()) {
+    std::ofstream out(testbench_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", testbench_out.c_str());
+      return 2;
+    }
+    out << core::generate_controller_testbench(*result);
+    std::printf("wrote %s (DUT + self-checking testbench)\n",
+                testbench_out.c_str());
+  }
+
+  if (simulate_passes > 0) {
+    auto simulator = result->make_simulator();
+    if (!simulator->run_until_passes(simulate_passes, max_cycles)) {
+      std::fprintf(stderr,
+                   "simulation did not reach %d passes in %llu cycles\n",
+                   simulate_passes,
+                   static_cast<unsigned long long>(max_cycles));
+      return 3;
+    }
+    std::printf("simulated %d pass(es) in %llu cycles\n", simulate_passes,
+                static_cast<unsigned long long>(simulator->cycle()));
+    for (const auto& round : simulator->rounds()) {
+      std::printf("  %s: produce@%llu, %zu consumer read(s), "
+                  "completion latency %llu\n",
+                  round.dep_id.c_str(),
+                  static_cast<unsigned long long>(round.produce_grant_cycle),
+                  round.consume_cycles.size(),
+                  static_cast<unsigned long long>(
+                      round.completion_latency()));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,218 @@
+#include "analysis/cfg.h"
+
+#include <gtest/gtest.h>
+
+#include "../hic/hic_test_util.h"
+
+namespace hicsync::analysis {
+namespace {
+
+using hic::testing::compile;
+
+const hic::ThreadDecl& only_thread(const hic::testing::Compiled& c) {
+  return c.program.threads.at(0);
+}
+
+TEST(Cfg, StraightLine) {
+  auto c = compile("thread t () { int a, b; a = 1; b = a + 1; }");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  Cfg cfg = Cfg::build(only_thread(*c));
+  // entry, 2 statements, exit.
+  EXPECT_EQ(cfg.nodes().size(), 4u);
+  EXPECT_TRUE(cfg.all_reachable());
+  // Entry has exactly one successor; exit none.
+  EXPECT_EQ(cfg.node(cfg.entry()).succs.size(), 1u);
+  EXPECT_TRUE(cfg.node(cfg.exit()).succs.empty());
+}
+
+TEST(Cfg, EmptyThread) {
+  auto c = compile("thread t () { int unused; }");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  Cfg cfg = Cfg::build(only_thread(*c));
+  ASSERT_EQ(cfg.nodes().size(), 2u);
+  // entry connects straight to exit.
+  ASSERT_EQ(cfg.node(cfg.entry()).succs.size(), 1u);
+  EXPECT_EQ(cfg.node(cfg.entry()).succs[0], cfg.exit());
+}
+
+TEST(Cfg, IfWithElseHasDiamond) {
+  auto c = compile(R"(
+    thread t () {
+      int x;
+      if (x > 0) x = 1; else x = 2;
+      x = 3;
+    }
+  )");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  Cfg cfg = Cfg::build(only_thread(*c));
+  // entry, branch, then-stmt, else-stmt, join-stmt, exit = 6 nodes.
+  EXPECT_EQ(cfg.nodes().size(), 6u);
+  // The branch has two successors.
+  const CfgNode* branch = nullptr;
+  for (const auto& n : cfg.nodes()) {
+    if (n.kind == CfgNodeKind::Branch) branch = &n;
+  }
+  ASSERT_NE(branch, nullptr);
+  EXPECT_EQ(branch->succs.size(), 2u);
+  EXPECT_TRUE(cfg.all_reachable());
+}
+
+TEST(Cfg, IfWithoutElseFallsThrough) {
+  auto c = compile(R"(
+    thread t () {
+      int x;
+      if (x > 0) x = 1;
+      x = 3;
+    }
+  )");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  Cfg cfg = Cfg::build(only_thread(*c));
+  const CfgNode* branch = nullptr;
+  for (const auto& n : cfg.nodes()) {
+    if (n.kind == CfgNodeKind::Branch) branch = &n;
+  }
+  ASSERT_NE(branch, nullptr);
+  // Branch goes to the then-statement and to the join statement.
+  EXPECT_EQ(branch->succs.size(), 2u);
+}
+
+TEST(Cfg, WhileLoopHasBackEdge) {
+  auto c = compile(R"(
+    thread t () {
+      int x;
+      while (x > 0) x = x - 1;
+    }
+  )");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  Cfg cfg = Cfg::build(only_thread(*c));
+  const CfgNode* branch = nullptr;
+  const CfgNode* body = nullptr;
+  for (const auto& n : cfg.nodes()) {
+    if (n.kind == CfgNodeKind::Branch) branch = &n;
+    if (n.kind == CfgNodeKind::Statement) body = &n;
+  }
+  ASSERT_NE(branch, nullptr);
+  ASSERT_NE(body, nullptr);
+  // Body's successor is the branch (back edge).
+  ASSERT_EQ(body->succs.size(), 1u);
+  EXPECT_EQ(body->succs[0], branch->id);
+}
+
+TEST(Cfg, ForLoopStructure) {
+  auto c = compile(R"(
+    thread t () {
+      int i, acc;
+      for (i = 0; i < 4; i = i + 1) acc = acc + i;
+    }
+  )");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  Cfg cfg = Cfg::build(only_thread(*c));
+  // entry, init, branch, body, step, exit.
+  EXPECT_EQ(cfg.nodes().size(), 6u);
+  EXPECT_TRUE(cfg.all_reachable());
+}
+
+TEST(Cfg, BreakLeavesLoop) {
+  auto c = compile(R"(
+    thread t () {
+      int x;
+      while (1) { x = x + 1; if (x == 3) break; }
+      x = 0;
+    }
+  )");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  Cfg cfg = Cfg::build(only_thread(*c));
+  EXPECT_TRUE(cfg.all_reachable());
+  // The statement after the loop must be reachable from inside the loop
+  // (via break) — find the x=0 node and check it has >= 2 preds
+  // (loop-condition-false and break).
+  const CfgNode* after = nullptr;
+  for (const auto& n : cfg.nodes()) {
+    if (n.kind == CfgNodeKind::Statement && n.stmt != nullptr &&
+        n.stmt->kind == hic::StmtKind::Assign &&
+        n.stmt->value->kind == hic::ExprKind::IntLit &&
+        n.stmt->value->int_value == 0) {
+      after = &n;
+    }
+  }
+  ASSERT_NE(after, nullptr);
+  EXPECT_GE(after->preds.size(), 2u);
+}
+
+TEST(Cfg, ContinueReturnsToCondition) {
+  auto c = compile(R"(
+    thread t () {
+      int x;
+      while (x > 0) { if (x == 5) continue; x = x - 1; }
+    }
+  )");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  Cfg cfg = Cfg::build(only_thread(*c));
+  EXPECT_TRUE(cfg.all_reachable());
+  // The loop condition branch should have 3 preds: entry, continue edge,
+  // and the bottom-of-body back edge.
+  const CfgNode* cond = nullptr;
+  for (const auto& n : cfg.nodes()) {
+    if (n.kind == CfgNodeKind::Branch && n.stmt != nullptr &&
+        n.stmt->kind == hic::StmtKind::While) {
+      cond = &n;
+    }
+  }
+  ASSERT_NE(cond, nullptr);
+  EXPECT_EQ(cond->preds.size(), 3u);
+}
+
+TEST(Cfg, CaseFansOut) {
+  auto c = compile(R"(
+    thread t () {
+      int s, x;
+      case (s) {
+        when 0: x = 1;
+        when 1: x = 2;
+        when 2: x = 3;
+      }
+    }
+  )");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  Cfg cfg = Cfg::build(only_thread(*c));
+  const CfgNode* branch = nullptr;
+  for (const auto& n : cfg.nodes()) {
+    if (n.kind == CfgNodeKind::Branch) branch = &n;
+  }
+  ASSERT_NE(branch, nullptr);
+  // Three arms plus implicit no-match fallthrough to exit.
+  EXPECT_EQ(branch->succs.size(), 4u);
+}
+
+TEST(Cfg, CaseWithDefaultHasNoFallthrough) {
+  auto c = compile(R"(
+    thread t () {
+      int s, x;
+      case (s) {
+        when 0: x = 1;
+        default: x = 2;
+      }
+    }
+  )");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  Cfg cfg = Cfg::build(only_thread(*c));
+  const CfgNode* branch = nullptr;
+  for (const auto& n : cfg.nodes()) {
+    if (n.kind == CfgNodeKind::Branch) branch = &n;
+  }
+  ASSERT_NE(branch, nullptr);
+  EXPECT_EQ(branch->succs.size(), 2u);
+}
+
+TEST(Cfg, ReversePostOrderStartsAtEntry) {
+  auto c = compile("thread t () { int a; a = 1; a = 2; }");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  Cfg cfg = Cfg::build(only_thread(*c));
+  auto rpo = cfg.reverse_post_order();
+  ASSERT_FALSE(rpo.empty());
+  EXPECT_EQ(rpo.front(), cfg.entry());
+  EXPECT_EQ(rpo.back(), cfg.exit());
+}
+
+}  // namespace
+}  // namespace hicsync::analysis

@@ -1,0 +1,103 @@
+#include "analysis/memaccess.h"
+
+#include <gtest/gtest.h>
+
+#include "../hic/hic_test_util.h"
+
+namespace hicsync::analysis {
+namespace {
+
+using hic::testing::compile;
+using hic::testing::kFigure1;
+
+struct Built {
+  std::unique_ptr<hic::testing::Compiled> c;
+  std::vector<Cfg> cfgs;
+  MemAccessGraph g;
+};
+
+Built build(const std::string& src) {
+  Built b;
+  b.c = compile(src);
+  EXPECT_TRUE(b.c->ok) << b.c->diags.str();
+  for (const auto& t : b.c->program.threads) {
+    b.cfgs.push_back(Cfg::build(t));
+  }
+  b.g = MemAccessGraph::build(b.c->program, *b.c->sema, b.cfgs);
+  return b;
+}
+
+TEST(MemAccess, Figure1OpCounts) {
+  auto b = build(kFigure1);
+  // t1: reads xtmp, x2; writes x1  -> 3 ops.
+  EXPECT_EQ(b.g.op_count("t1"), 3);
+  // t2: reads x1, y2; writes y1    -> 3 ops.
+  EXPECT_EQ(b.g.op_count("t2"), 3);
+  EXPECT_EQ(b.g.op_count("t3"), 3);
+}
+
+TEST(MemAccess, AccessorsOfSharedVariable) {
+  auto b = build(kFigure1);
+  auto* x1 = b.c->sema->lookup("t1", "x1");
+  auto acc = b.g.accessors(x1);
+  ASSERT_EQ(acc.size(), 3u);
+  // Producer writes, consumers read.
+  for (const auto& a : acc) {
+    if (a.thread == "t1") {
+      EXPECT_EQ(a.writes, 1);
+      EXPECT_EQ(a.reads, 0);
+    } else {
+      EXPECT_EQ(a.writes, 0);
+      EXPECT_EQ(a.reads, 1);
+    }
+  }
+}
+
+TEST(MemAccess, PartialOrderIncludesCrossThreadEdges) {
+  auto b = build(kFigure1);
+  auto* x1 = b.c->sema->lookup("t1", "x1");
+  // Find the producer write op and consumer read ops of x1.
+  int writes = 0;
+  int cross_edges = 0;
+  for (const auto& op : b.g.ops()) {
+    if (op.symbol == x1 && op.is_write) ++writes;
+  }
+  for (const auto& [from, to] : b.g.order_edges()) {
+    const auto& f = b.g.ops()[static_cast<std::size_t>(from)];
+    const auto& t = b.g.ops()[static_cast<std::size_t>(to)];
+    if (f.thread != t.thread) {
+      ++cross_edges;
+      EXPECT_TRUE(f.is_write);
+      EXPECT_FALSE(t.is_write);
+      EXPECT_EQ(f.symbol, x1);
+    }
+  }
+  EXPECT_EQ(writes, 1);
+  EXPECT_EQ(cross_edges, 2);  // one per consumer
+}
+
+TEST(MemAccess, PartialOrderIsConsistentForDag) {
+  auto b = build(kFigure1);
+  EXPECT_TRUE(b.g.is_consistent());
+}
+
+TEST(MemAccess, ProgramOrderPreservedWithinThread) {
+  auto b = build("thread t () { int a, x, y; a = 1; x = a; y = x; }");
+  // All intra-thread edges go forward in seq order.
+  for (const auto& [from, to] : b.g.order_edges()) {
+    const auto& f = b.g.ops()[static_cast<std::size_t>(from)];
+    const auto& t = b.g.ops()[static_cast<std::size_t>(to)];
+    if (f.thread == t.thread) {
+      EXPECT_LT(f.seq, t.seq);
+    }
+  }
+}
+
+TEST(MemAccess, SymbolsListsAllTouched) {
+  auto b = build(kFigure1);
+  // 7 distinct symbols are touched: t1{x1,xtmp,x2}, t2{y1,y2}, t3{z1,z2}.
+  EXPECT_EQ(b.g.symbols().size(), 7u);
+}
+
+}  // namespace
+}  // namespace hicsync::analysis

@@ -1,0 +1,181 @@
+#include "analysis/usedef.h"
+
+#include <gtest/gtest.h>
+
+#include "../hic/hic_test_util.h"
+
+namespace hicsync::analysis {
+namespace {
+
+using hic::testing::compile;
+using hic::testing::kFigure1;
+
+struct Built {
+  std::unique_ptr<hic::testing::Compiled> c;
+  std::vector<Cfg> cfgs;
+  std::vector<std::unique_ptr<UseDefAnalysis>> ud;
+};
+
+Built build(const std::string& src) {
+  Built b;
+  b.c = compile(src);
+  EXPECT_TRUE(b.c->ok) << b.c->diags.str();
+  for (const auto& t : b.c->program.threads) {
+    b.cfgs.push_back(Cfg::build(t));
+  }
+  for (const auto& cfg : b.cfgs) {
+    b.ud.push_back(std::make_unique<UseDefAnalysis>(cfg));
+  }
+  return b;
+}
+
+TEST(UseDef, CountsDefsAndUses) {
+  auto b = build("thread t () { int a, x; a = 1; x = a + a; }");
+  const auto& ud = *b.ud[0];
+  EXPECT_EQ(ud.defs().size(), 2u);   // a, x
+  EXPECT_EQ(ud.uses().size(), 2u);   // a twice
+}
+
+TEST(UseDef, SimpleChain) {
+  auto b = build("thread t () { int a, x; a = 1; x = a; }");
+  const auto& ud = *b.ud[0];
+  auto uses = ud.uses();
+  ASSERT_EQ(uses.size(), 1u);
+  auto defs = ud.reaching_defs(*uses[0]);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0]->symbol->name(), "a");
+  EXPECT_TRUE(defs[0]->is_def);
+}
+
+TEST(UseDef, RedefinitionKillsEarlierDef) {
+  auto b = build("thread t () { int a, x; a = 1; a = 2; x = a; }");
+  const auto& ud = *b.ud[0];
+  auto uses = ud.uses();
+  ASSERT_EQ(uses.size(), 1u);
+  auto defs = ud.reaching_defs(*uses[0]);
+  // Only the second definition reaches.
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0]->stmt->value->int_value, 2u);
+}
+
+TEST(UseDef, BranchMergesBothDefs) {
+  auto b = build(R"(
+    thread t () {
+      int a, c, x;
+      if (c > 0) a = 1; else a = 2;
+      x = a;
+    }
+  )");
+  const auto& ud = *b.ud[0];
+  // Find the use of `a` in x = a.
+  const Access* use_a = nullptr;
+  for (const auto& a : ud.accesses()) {
+    if (!a.is_def && a.symbol->name() == "a") use_a = &a;
+  }
+  ASSERT_NE(use_a, nullptr);
+  EXPECT_EQ(ud.reaching_defs(*use_a).size(), 2u);
+}
+
+TEST(UseDef, LoopCarriedDefReaches) {
+  auto b = build(R"(
+    thread t () {
+      int i, n;
+      i = 0;
+      while (i < n) i = i + 1;
+    }
+  )");
+  const auto& ud = *b.ud[0];
+  // The use of i inside `i = i + 1` sees both the initial def and itself.
+  const Access* loop_use = nullptr;
+  for (const auto& a : ud.accesses()) {
+    if (!a.is_def && a.symbol->name() == "i" && a.stmt != nullptr &&
+        a.stmt->kind == hic::StmtKind::Assign) {
+      loop_use = &a;
+    }
+  }
+  ASSERT_NE(loop_use, nullptr);
+  EXPECT_EQ(ud.reaching_defs(*loop_use).size(), 2u);
+}
+
+TEST(UseDef, DefUseChain) {
+  auto b = build("thread t () { int a, x, y; a = 1; x = a; y = a; }");
+  const auto& ud = *b.ud[0];
+  auto defs = ud.defs();
+  const Access* def_a = nullptr;
+  for (const auto* d : defs) {
+    if (d->symbol->name() == "a") def_a = d;
+  }
+  ASSERT_NE(def_a, nullptr);
+  EXPECT_EQ(ud.reached_uses(*def_a).size(), 2u);
+}
+
+TEST(UseDef, UndefinedUseDetected) {
+  auto b = build("thread t () { int a, x; x = a; a = 1; }");
+  const auto& ud = *b.ud[0];
+  auto undef = ud.undefined_uses();
+  ASSERT_EQ(undef.size(), 1u);
+  EXPECT_EQ(undef[0]->symbol->name(), "a");
+}
+
+TEST(UseDef, ArrayWriteDoesNotKill) {
+  auto b = build(R"(
+    thread t () {
+      int tbl[4], x, i;
+      tbl[0] = 1;
+      tbl[i] = 2;
+      x = tbl[3];
+    }
+  )");
+  const auto& ud = *b.ud[0];
+  const Access* use_tbl = nullptr;
+  for (const auto& a : ud.accesses()) {
+    if (!a.is_def && a.symbol->name() == "tbl") use_tbl = &a;
+  }
+  ASSERT_NE(use_tbl, nullptr);
+  // Both array writes may define the element read.
+  EXPECT_EQ(ud.reaching_defs(*use_tbl).size(), 2u);
+}
+
+TEST(UseDef, BranchConditionCountsAsUse) {
+  auto b = build(R"(
+    thread t () {
+      int c, x;
+      c = 1;
+      if (c == 1) x = 2;
+    }
+  )");
+  const auto& ud = *b.ud[0];
+  int uses_of_c = 0;
+  for (const auto& a : ud.accesses()) {
+    if (!a.is_def && a.symbol->name() == "c") ++uses_of_c;
+  }
+  EXPECT_EQ(uses_of_c, 1);
+}
+
+TEST(UseDef, InterThreadReadsDetected) {
+  auto b = build(kFigure1);
+  // t2 (index 1) reads t1.x1.
+  auto reads = extract_interthread_reads(b.cfgs[1], *b.ud[1]);
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].symbol->qualified_name(), "t1.x1");
+  // t1 (producer) has no inter-thread reads.
+  EXPECT_TRUE(extract_interthread_reads(b.cfgs[0], *b.ud[0]).empty());
+}
+
+TEST(UseDef, InterThreadReadsMatchPragmaDependencies) {
+  // Cross-check: use-def-derived consumers equal pragma-declared consumers
+  // (the paper's claim that pragmas are just a convenience for analysis).
+  auto b = build(kFigure1);
+  const auto& dep = b.c->sema->dependencies()[0];
+  std::size_t consumers_found = 0;
+  for (std::size_t i = 0; i < b.cfgs.size(); ++i) {
+    auto reads = extract_interthread_reads(b.cfgs[i], *b.ud[i]);
+    for (const auto& r : reads) {
+      if (r.symbol == dep.shared_var) ++consumers_found;
+    }
+  }
+  EXPECT_EQ(consumers_found, dep.consumers.size());
+}
+
+}  // namespace
+}  // namespace hicsync::analysis

@@ -1,0 +1,77 @@
+#include "core/tbgen.h"
+
+#include <gtest/gtest.h>
+
+#include "netapp/scenarios.h"
+
+namespace hicsync::core {
+namespace {
+
+TEST(TestbenchGen, ArbitratedBundleContainsDutAndChecks) {
+  auto r = Compiler().compile(netapp::figure1_source());
+  ASSERT_TRUE(r->ok());
+  std::string bundle = generate_controller_testbench(*r);
+  EXPECT_NE(bundle.find("module memorg_bram0 ("), std::string::npos);
+  EXPECT_NE(bundle.find("module tb_memorg_bram0;"), std::string::npos);
+  EXPECT_NE(bundle.find("memorg_bram0 dut ("), std::string::npos);
+  // The exchange exercises produce + both consumers: grant/valid checks
+  // for every pseudo-port appear among the expectations.
+  EXPECT_NE(bundle.find("d_grant0"), std::string::npos);
+  EXPECT_NE(bundle.find("c_valid0"), std::string::npos);
+  EXPECT_NE(bundle.find("c_valid1"), std::string::npos);
+  EXPECT_NE(bundle.find("PASS"), std::string::npos);
+}
+
+TEST(TestbenchGen, EventDrivenBundle) {
+  CompileOptions options;
+  options.organization = sim::OrgKind::EventDriven;
+  auto r = Compiler(options).compile(netapp::figure1_source());
+  ASSERT_TRUE(r->ok());
+  std::string bundle = generate_controller_testbench(*r);
+  EXPECT_NE(bundle.find("p_grant0"), std::string::npos);
+  EXPECT_NE(bundle.find("ev_c0"), std::string::npos);
+  EXPECT_NE(bundle.find("PASS"), std::string::npos);
+}
+
+TEST(TestbenchGen, CoversEveryDependency) {
+  // Two dependencies on one BRAM: the trace exercises both base addresses.
+  const char* src = R"(
+    thread p () {
+      int a, b;
+      #consumer{d1, [q,u]}
+      a = 1;
+      #consumer{d2, [q,v]}
+      b = 2;
+    }
+    thread q () {
+      int u, v;
+      #producer{d1, [p,a]}
+      u = a;
+      #producer{d2, [p,b]}
+      v = b;
+    }
+  )";
+  for (sim::OrgKind kind :
+       {sim::OrgKind::Arbitrated, sim::OrgKind::EventDriven}) {
+    CompileOptions options;
+    options.organization = kind;
+    auto r = Compiler(options).compile(src);
+    ASSERT_TRUE(r->ok()) << r->diags().str();
+    std::string bundle = generate_controller_testbench(*r);
+    // Two produced values c0de and c0df are driven.
+    EXPECT_NE(bundle.find("64'hc0de"), std::string::npos)
+        << sim::to_string(kind);
+    EXPECT_NE(bundle.find("64'hc0df"), std::string::npos)
+        << sim::to_string(kind);
+  }
+}
+
+TEST(TestbenchGen, UnknownBramThrows) {
+  auto r = Compiler().compile(netapp::figure1_source());
+  ASSERT_TRUE(r->ok());
+  EXPECT_THROW((void)generate_controller_testbench(*r, 42),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hicsync::core

@@ -1,0 +1,157 @@
+#include "fpga/timing.h"
+
+#include <gtest/gtest.h>
+
+#include "memorg/arbitrated.h"
+#include "memorg/eventdriven.h"
+#include "../memorg/memorg_test_util.h"
+
+namespace hicsync::fpga {
+namespace {
+
+TEST(Timing, FmaxDecreasesWithLevels) {
+  MapResult shallow;
+  shallow.logic_levels = 3;
+  MapResult deep;
+  deep.logic_levels = 10;
+  EXPECT_GT(estimate_timing(shallow, false).fmax_mhz,
+            estimate_timing(deep, false).fmax_mhz);
+}
+
+TEST(Timing, CarryChainAddsDelay) {
+  MapResult base;
+  base.logic_levels = 4;
+  MapResult with_carry = base;
+  with_carry.max_carry_bits = 32;
+  EXPECT_GT(estimate_timing(base, false).fmax_mhz,
+            estimate_timing(with_carry, false).fmax_mhz);
+}
+
+TEST(Timing, BramLaunchSlowerThanRegisterLaunch) {
+  MapResult r;
+  r.logic_levels = 4;
+  r.bram_blocks = 1;
+  EXPECT_LT(estimate_timing(r, /*launches_from_bram=*/true).fmax_mhz,
+            estimate_timing(r, /*launches_from_bram=*/false).fmax_mhz);
+}
+
+TEST(Timing, MeetsChecksTarget) {
+  MapResult r;
+  r.logic_levels = 2;
+  TimingResult t = estimate_timing(r, false);
+  EXPECT_TRUE(t.meets(100.0));
+  EXPECT_FALSE(t.meets(t.fmax_mhz + 1.0));
+}
+
+TEST(Timing, ZeroLevelPathIsFinite) {
+  MapResult r;
+  TimingResult t = estimate_timing(r, false);
+  EXPECT_GT(t.fmax_mhz, 0.0);
+}
+
+// --- The §4 shape properties, measured on the generated controllers. ---
+
+struct OrgNumbers {
+  MapResult map;
+  TimingResult timing;
+};
+
+OrgNumbers arb_numbers(int nc) {
+  rtl::Design d;
+  rtl::Module& m = memorg::generate_arbitrated(
+      d, memorg::testing::arb_config(nc), "arb");
+  OrgNumbers n;
+  n.map = TechMapper().map(m);
+  n.timing = estimate_timing(n.map, false);
+  return n;
+}
+
+OrgNumbers ev_numbers(int nc) {
+  rtl::Design d;
+  rtl::Module& m = memorg::generate_eventdriven(
+      d, memorg::testing::ev_config(nc), "ev");
+  OrgNumbers n;
+  n.map = TechMapper().map(m);
+  n.timing = estimate_timing(n.map, false);
+  return n;
+}
+
+TEST(PaperShape, Table1LutGrowsWithConsumersFfConstant) {
+  auto n2 = arb_numbers(2);
+  auto n4 = arb_numbers(4);
+  auto n8 = arb_numbers(8);
+  EXPECT_LT(n2.map.luts, n4.map.luts);
+  EXPECT_LT(n4.map.luts, n8.map.luts);
+  EXPECT_EQ(n2.map.ffs, n4.map.ffs);
+  EXPECT_EQ(n4.map.ffs, n8.map.ffs);
+  // The paper's baseline has 66 FFs; ours should be in that neighbourhood.
+  EXPECT_GT(n2.map.ffs, 40);
+  EXPECT_LT(n2.map.ffs, 100);
+}
+
+TEST(PaperShape, Table2LutGrowsWithConsumersFfConstant) {
+  auto n2 = ev_numbers(2);
+  auto n4 = ev_numbers(4);
+  auto n8 = ev_numbers(8);
+  EXPECT_LT(n2.map.luts, n4.map.luts);
+  EXPECT_LT(n4.map.luts, n8.map.luts);
+  EXPECT_EQ(n2.map.ffs, n4.map.ffs);
+  EXPECT_EQ(n4.map.ffs, n8.map.ffs);
+}
+
+TEST(PaperShape, EventDrivenSmallerThanArbitrated) {
+  // The event-driven organization has no CAM and no arbiter: fewer LUTs at
+  // every consumer count.
+  for (int nc : {2, 4, 8}) {
+    EXPECT_LT(ev_numbers(nc).map.luts, arb_numbers(nc).map.luts)
+        << "nc=" << nc;
+  }
+}
+
+TEST(PaperShape, FmaxDecreasesWithConsumers) {
+  auto a2 = arb_numbers(2);
+  auto a4 = arb_numbers(4);
+  auto a8 = arb_numbers(8);
+  EXPECT_GT(a2.timing.fmax_mhz, a4.timing.fmax_mhz);
+  EXPECT_GT(a4.timing.fmax_mhz, a8.timing.fmax_mhz);
+  auto e2 = ev_numbers(2);
+  auto e4 = ev_numbers(4);
+  auto e8 = ev_numbers(8);
+  EXPECT_GT(e2.timing.fmax_mhz, e4.timing.fmax_mhz);
+  EXPECT_GT(e4.timing.fmax_mhz, e8.timing.fmax_mhz);
+}
+
+TEST(PaperShape, EventDrivenFasterThanArbitrated) {
+  // §4: event-driven achieved 177/136/129 MHz vs arbitrated 158/130/~125.
+  for (int nc : {2, 4, 8}) {
+    EXPECT_GT(ev_numbers(nc).timing.fmax_mhz,
+              arb_numbers(nc).timing.fmax_mhz)
+        << "nc=" << nc;
+  }
+}
+
+TEST(PaperShape, SerialScanSavesLutsOverCam) {
+  // The ablation of bench_deplist_scaling: with many entries, the serial
+  // scan shares comparators.
+  auto with_entries = [](bool cam) {
+    memorg::ArbitratedConfig cfg = memorg::testing::arb_config(2);
+    cfg.use_cam = cam;
+    for (int e = 1; e < 16; ++e) {
+      memorg::DepEntry entry;
+      entry.id = "d" + std::to_string(e);
+      entry.base_address = static_cast<std::uint32_t>(16 + 4 * e);
+      entry.dependency_number = 2;
+      entry.consumer_ports = {0, 1};
+      cfg.deps.push_back(entry);
+    }
+    rtl::Design d;
+    rtl::Module& m = memorg::generate_arbitrated(d, cfg, "arb");
+    return TechMapper().map(m);
+  };
+  MapResult cam = with_entries(true);
+  MapResult scan = with_entries(false);
+  EXPECT_LT(scan.luts, cam.luts);
+}
+
+}  // namespace
+}  // namespace hicsync::fpga

@@ -1,0 +1,50 @@
+// Shared helpers for frontend tests: parse + sema in one call, plus the
+// paper's Figure 1 program as a canonical fixture.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hic/parser.h"
+#include "hic/sema.h"
+#include "support/diagnostics.h"
+
+namespace hicsync::hic::testing {
+
+/// The pseudo-example of the paper's Figure 1: thread t1 produces x1,
+/// consumed by y1 in t2 and z1 in t3.
+inline constexpr const char* kFigure1 = R"(
+thread t1 () {
+  int x1, xtmp, x2;
+  #consumer{mt1, [t2,y1], [t3,z1]}
+  x1 = f(xtmp, x2);
+}
+thread t2 () {
+  int y1, y2;
+  #producer{mt1, [t1,x1]}
+  y1 = g(x1, y2);
+}
+thread t3 () {
+  int z1, z2;
+  #producer{mt1, [t1,x1]}
+  z1 = h(x1, z2);
+}
+)";
+
+/// Holds a compiled program with its diagnostics and analysis.
+struct Compiled {
+  support::DiagnosticEngine diags;
+  Program program;
+  std::unique_ptr<Sema> sema;
+  bool ok = false;
+};
+
+inline std::unique_ptr<Compiled> compile(const std::string& source) {
+  auto c = std::make_unique<Compiled>();
+  c->program = parse_source(source, c->diags);
+  c->sema = std::make_unique<Sema>(c->program, c->diags);
+  c->ok = !c->diags.has_errors() && c->sema->run();
+  return c;
+}
+
+}  // namespace hicsync::hic::testing

@@ -1,0 +1,147 @@
+#include "hic/infer.h"
+
+#include <gtest/gtest.h>
+
+#include "hic/parser.h"
+#include "hic/sema.h"
+#include "hic_test_util.h"
+
+namespace hicsync::hic {
+namespace {
+
+/// Figure 1 with the pragmas removed — what §2 says use-def analysis can
+/// recover.
+constexpr const char* kFigure1NoPragmas = R"(
+thread t1 () {
+  int x1, xtmp, x2;
+  x1 = f(xtmp, x2);
+}
+thread t2 () {
+  int y1, y2;
+  y1 = g(x1, y2);
+}
+thread t3 () {
+  int z1, z2;
+  z1 = h(x1, z2);
+}
+)";
+
+struct Inferred {
+  support::DiagnosticEngine diags;
+  Program program;
+  std::unique_ptr<Sema> sema;
+  InferenceResult result;
+  bool ok = false;
+};
+
+Inferred run_inference(const std::string& src) {
+  Inferred r;
+  r.program = parse_source(src, r.diags);
+  EXPECT_FALSE(r.diags.has_errors()) << r.diags.str();
+  r.result = infer_dependencies(r.program, r.diags);
+  if (!r.diags.has_errors()) {
+    r.sema = std::make_unique<Sema>(r.program, r.diags);
+    r.ok = r.sema->run();
+  }
+  return r;
+}
+
+TEST(Infer, RecoversFigure1Dependency) {
+  auto r = run_inference(kFigure1NoPragmas);
+  ASSERT_TRUE(r.ok) << r.diags.str();
+  EXPECT_EQ(r.result.inferred_dependencies, 1);
+  EXPECT_EQ(r.result.consumer_endpoints, 2);
+  ASSERT_EQ(r.sema->dependencies().size(), 1u);
+  const Dependency& d = r.sema->dependencies()[0];
+  EXPECT_EQ(d.producer_thread, "t1");
+  EXPECT_EQ(d.shared_var->qualified_name(), "t1.x1");
+  EXPECT_EQ(d.dependency_number(), 2);
+}
+
+TEST(Infer, MatchesExplicitPragmaResult) {
+  auto inferred = run_inference(kFigure1NoPragmas);
+  auto explicit_c = testing::compile(testing::kFigure1);
+  ASSERT_TRUE(inferred.ok);
+  ASSERT_TRUE(explicit_c->ok);
+  const Dependency& a = inferred.sema->dependencies()[0];
+  const Dependency& b = explicit_c->sema->dependencies()[0];
+  EXPECT_EQ(a.producer_thread, b.producer_thread);
+  EXPECT_EQ(a.dependency_number(), b.dependency_number());
+  ASSERT_EQ(a.consumers.size(), b.consumers.size());
+  for (std::size_t i = 0; i < a.consumers.size(); ++i) {
+    EXPECT_EQ(a.consumers[i].thread, b.consumers[i].thread);
+  }
+}
+
+TEST(Infer, ExplicitPragmasLeftUntouched) {
+  auto r = run_inference(testing::kFigure1);
+  ASSERT_TRUE(r.ok) << r.diags.str();
+  EXPECT_EQ(r.result.inferred_dependencies, 0);
+  ASSERT_EQ(r.sema->dependencies().size(), 1u);
+  EXPECT_EQ(r.sema->dependencies()[0].id, "mt1");  // not auto_*
+}
+
+TEST(Infer, AmbiguousOwnerDiagnosed) {
+  auto r = run_inference(R"(
+    thread a () { int shared; shared = 1; }
+    thread b () { int shared; shared = 2; }
+    thread c () { int y; y = shared; }
+  )");
+  EXPECT_TRUE(r.diags.has_errors());
+  EXPECT_TRUE(r.diags.contains("declared by multiple threads"));
+}
+
+TEST(Infer, MultipleWriteSitesDiagnosed) {
+  auto r = run_inference(R"(
+    thread p () {
+      int v;
+      v = 1;
+      v = 2;
+    }
+    thread q () { int y; y = v; }
+  )");
+  EXPECT_TRUE(r.diags.has_errors());
+  EXPECT_TRUE(r.diags.contains("several statements"));
+}
+
+TEST(Infer, NeverWrittenDiagnosed) {
+  auto r = run_inference(R"(
+    thread p () { int v, w; w = 3; }
+    thread q () { int y; y = v; }
+  )");
+  EXPECT_TRUE(r.diags.has_errors());
+  EXPECT_TRUE(r.diags.contains("never assigns"));
+}
+
+TEST(Infer, UnknownNameLeftToSema) {
+  auto r = run_inference("thread t () { int y; y = ghost; }");
+  // Inference passes (nothing to infer); Sema reports the unknown name.
+  EXPECT_TRUE(r.diags.has_errors());
+  EXPECT_TRUE(r.diags.contains("unknown variable"));
+}
+
+TEST(Infer, FanoutAcrossManyConsumers) {
+  std::string src = "thread p () { int data; data = f(); }\n";
+  for (int i = 0; i < 4; ++i) {
+    std::string n = std::to_string(i);
+    src += "thread c" + n + " () { int v" + n + "; v" + n +
+           " = g(data); }\n";
+  }
+  auto r = run_inference(src);
+  ASSERT_TRUE(r.ok) << r.diags.str();
+  ASSERT_EQ(r.sema->dependencies().size(), 1u);
+  EXPECT_EQ(r.sema->dependencies()[0].dependency_number(), 4);
+}
+
+TEST(Infer, ChainOfDependencies) {
+  auto r = run_inference(R"(
+    thread a () { int va; va = 1; }
+    thread b () { int vb; vb = va + 1; }
+    thread c () { int vc; vc = vb + 1; }
+  )");
+  ASSERT_TRUE(r.ok) << r.diags.str();
+  EXPECT_EQ(r.sema->dependencies().size(), 2u);
+}
+
+}  // namespace
+}  // namespace hicsync::hic

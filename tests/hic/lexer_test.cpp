@@ -1,0 +1,154 @@
+#include "hic/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace hicsync::hic {
+namespace {
+
+std::vector<Token> lex(std::string_view src, support::DiagnosticEngine* out_diags = nullptr) {
+  support::DiagnosticEngine diags;
+  Lexer lexer(src, diags);
+  auto tokens = lexer.lex_all();
+  if (out_diags != nullptr) *out_diags = diags;
+  EXPECT_FALSE(tokens.empty());
+  EXPECT_EQ(tokens.back().kind, TokenKind::EndOfFile);
+  return tokens;
+}
+
+TEST(Lexer, EmptyInput) {
+  auto t = lex("");
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Lexer, Keywords) {
+  auto t = lex("thread int char message bits type union if else case when "
+               "default for while break continue");
+  ASSERT_EQ(t.size(), 17u);
+  EXPECT_EQ(t[0].kind, TokenKind::KwThread);
+  EXPECT_EQ(t[1].kind, TokenKind::KwInt);
+  EXPECT_EQ(t[2].kind, TokenKind::KwChar);
+  EXPECT_EQ(t[3].kind, TokenKind::KwMessage);
+  EXPECT_EQ(t[4].kind, TokenKind::KwBits);
+  EXPECT_EQ(t[5].kind, TokenKind::KwType);
+  EXPECT_EQ(t[6].kind, TokenKind::KwUnion);
+  EXPECT_EQ(t[7].kind, TokenKind::KwIf);
+  EXPECT_EQ(t[8].kind, TokenKind::KwElse);
+  EXPECT_EQ(t[9].kind, TokenKind::KwCase);
+  EXPECT_EQ(t[10].kind, TokenKind::KwWhen);
+  EXPECT_EQ(t[11].kind, TokenKind::KwDefault);
+  EXPECT_EQ(t[12].kind, TokenKind::KwFor);
+  EXPECT_EQ(t[13].kind, TokenKind::KwWhile);
+  EXPECT_EQ(t[14].kind, TokenKind::KwBreak);
+  EXPECT_EQ(t[15].kind, TokenKind::KwContinue);
+}
+
+TEST(Lexer, IdentifiersNotKeywords) {
+  auto t = lex("threads int1 _case");
+  EXPECT_EQ(t[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(t[0].text, "threads");
+  EXPECT_EQ(t[1].kind, TokenKind::Identifier);
+  EXPECT_EQ(t[2].kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, DecimalLiteral) {
+  auto t = lex("12345");
+  EXPECT_EQ(t[0].kind, TokenKind::IntLiteral);
+  EXPECT_EQ(t[0].int_value, 12345u);
+}
+
+TEST(Lexer, HexLiteral) {
+  auto t = lex("0xC0A80101");
+  EXPECT_EQ(t[0].int_value, 0xC0A80101u);
+}
+
+TEST(Lexer, BinaryLiteral) {
+  auto t = lex("0b1011");
+  EXPECT_EQ(t[0].int_value, 11u);
+}
+
+TEST(Lexer, DigitSeparators) {
+  auto t = lex("1'000'000");
+  EXPECT_EQ(t[0].int_value, 1000000u);
+}
+
+TEST(Lexer, CharLiterals) {
+  auto t = lex(R"('a' '\n' '\\' '\0')");
+  EXPECT_EQ(t[0].int_value, static_cast<std::uint64_t>('a'));
+  EXPECT_EQ(t[1].int_value, static_cast<std::uint64_t>('\n'));
+  EXPECT_EQ(t[2].int_value, static_cast<std::uint64_t>('\\'));
+  EXPECT_EQ(t[3].int_value, 0u);
+}
+
+TEST(Lexer, TwoCharOperators) {
+  auto t = lex("== != <= >= << >> && ||");
+  EXPECT_EQ(t[0].kind, TokenKind::EqEq);
+  EXPECT_EQ(t[1].kind, TokenKind::NotEq);
+  EXPECT_EQ(t[2].kind, TokenKind::LessEq);
+  EXPECT_EQ(t[3].kind, TokenKind::GreaterEq);
+  EXPECT_EQ(t[4].kind, TokenKind::Shl);
+  EXPECT_EQ(t[5].kind, TokenKind::Shr);
+  EXPECT_EQ(t[6].kind, TokenKind::AmpAmp);
+  EXPECT_EQ(t[7].kind, TokenKind::PipePipe);
+}
+
+TEST(Lexer, SingleCharOperatorsAndPunct) {
+  auto t = lex("( ) { } [ ] , ; : . # = + - * / % & | ^ ~ ! < >");
+  TokenKind expected[] = {
+      TokenKind::LParen,  TokenKind::RParen,    TokenKind::LBrace,
+      TokenKind::RBrace,  TokenKind::LBracket,  TokenKind::RBracket,
+      TokenKind::Comma,   TokenKind::Semicolon, TokenKind::Colon,
+      TokenKind::Dot,     TokenKind::Hash,      TokenKind::Assign,
+      TokenKind::Plus,    TokenKind::Minus,     TokenKind::Star,
+      TokenKind::Slash,   TokenKind::Percent,   TokenKind::Amp,
+      TokenKind::Pipe,    TokenKind::Caret,     TokenKind::Tilde,
+      TokenKind::Bang,    TokenKind::Less,      TokenKind::Greater,
+  };
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(t[i].kind, expected[i]) << "token " << i;
+  }
+}
+
+TEST(Lexer, LineComments) {
+  auto t = lex("a // comment with = and ;\nb");
+  ASSERT_GE(t.size(), 3u);
+  EXPECT_EQ(t[0].text, "a");
+  EXPECT_EQ(t[1].text, "b");
+}
+
+TEST(Lexer, BlockComments) {
+  auto t = lex("a /* x\ny */ b");
+  EXPECT_EQ(t[0].text, "a");
+  EXPECT_EQ(t[1].text, "b");
+}
+
+TEST(Lexer, UnterminatedBlockCommentDiagnosed) {
+  support::DiagnosticEngine diags;
+  lex("a /* never closed", &diags);
+  EXPECT_TRUE(diags.contains("unterminated block comment"));
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto t = lex("a\n  b");
+  EXPECT_EQ(t[0].loc.line, 1u);
+  EXPECT_EQ(t[0].loc.column, 1u);
+  EXPECT_EQ(t[1].loc.line, 2u);
+  EXPECT_EQ(t[1].loc.column, 3u);
+}
+
+TEST(Lexer, UnexpectedCharacterRecovers) {
+  support::DiagnosticEngine diags;
+  auto t = lex("a $ b", &diags);
+  EXPECT_TRUE(diags.has_errors());
+  // Both identifiers still lexed.
+  EXPECT_EQ(t[0].text, "a");
+  EXPECT_EQ(t[1].text, "b");
+}
+
+TEST(Lexer, UnterminatedCharLiteral) {
+  support::DiagnosticEngine diags;
+  lex("'a", &diags);
+  EXPECT_TRUE(diags.contains("unterminated character literal"));
+}
+
+}  // namespace
+}  // namespace hicsync::hic

@@ -1,0 +1,236 @@
+#include "hic/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "hic/printer.h"
+#include "hic_test_util.h"
+
+namespace hicsync::hic {
+namespace {
+
+using testing::compile;
+using testing::kFigure1;
+
+TEST(Parser, Figure1ParsesCleanly) {
+  auto c = compile(kFigure1);
+  EXPECT_TRUE(c->ok) << c->diags.str();
+  ASSERT_EQ(c->program.threads.size(), 3u);
+  EXPECT_EQ(c->program.threads[0].name, "t1");
+  EXPECT_EQ(c->program.threads[1].name, "t2");
+  EXPECT_EQ(c->program.threads[2].name, "t3");
+}
+
+TEST(Parser, Figure1PragmaShape) {
+  auto c = compile(kFigure1);
+  const ThreadDecl& t1 = c->program.threads[0];
+  ASSERT_EQ(t1.body.size(), 1u);
+  ASSERT_EQ(t1.body[0]->pragmas.size(), 1u);
+  const Pragma& p = t1.body[0]->pragmas[0];
+  EXPECT_EQ(p.kind, PragmaKind::Consumer);
+  EXPECT_EQ(p.dep_id, "mt1");
+  ASSERT_EQ(p.endpoints.size(), 2u);
+  EXPECT_EQ(p.endpoints[0].thread, "t2");
+  EXPECT_EQ(p.endpoints[0].var, "y1");
+  EXPECT_EQ(p.endpoints[1].thread, "t3");
+  EXPECT_EQ(p.endpoints[1].var, "z1");
+}
+
+TEST(Parser, Declarations) {
+  auto c = compile(R"(
+    thread t () {
+      int a, b, c;
+      char ch;
+      message m;
+      bits<12> addr;
+      int table[64];
+      a = 1;
+    }
+  )");
+  EXPECT_TRUE(c->ok) << c->diags.str();
+  const ThreadDecl& t = c->program.threads[0];
+  ASSERT_EQ(t.decls.size(), 7u);
+  EXPECT_EQ(t.decls[0].name, "a");
+  EXPECT_EQ(t.decls[3].type_name, "char");
+  EXPECT_EQ(t.decls[5].bits_width, 12);
+  EXPECT_EQ(t.decls[6].array_size, 64u);
+}
+
+TEST(Parser, TypedefAndUnion) {
+  auto c = compile(R"(
+    type ipaddr = bits<32>;
+    union header {
+      ipaddr src;
+      ipaddr dst;
+      bits<16> len;
+    }
+    thread t () {
+      header h;
+      ipaddr a;
+      a = h.src;
+    }
+  )");
+  EXPECT_TRUE(c->ok) << c->diags.str();
+  ASSERT_EQ(c->program.typedefs.size(), 2u);
+  EXPECT_FALSE(c->program.typedefs[0].is_union);
+  EXPECT_TRUE(c->program.typedefs[1].is_union);
+  EXPECT_EQ(c->program.typedefs[1].members.size(), 3u);
+}
+
+TEST(Parser, InterfaceAndConstantPragmas) {
+  auto c = compile(R"(
+    #interface{gige0, GigabitEthernet}
+    #constant{host_addr, 0xC0A80101}
+    thread t () { int x; x = 0; }
+  )");
+  EXPECT_TRUE(c->ok) << c->diags.str();
+  ASSERT_EQ(c->program.interfaces.size(), 1u);
+  EXPECT_EQ(c->program.interfaces[0].name, "gige0");
+  EXPECT_EQ(c->program.interfaces[0].value, "GigabitEthernet");
+  ASSERT_EQ(c->program.constants.size(), 1u);
+  EXPECT_EQ(c->program.constants[0].int_value, 0xC0A80101u);
+}
+
+TEST(Parser, ControlFlowStatements) {
+  auto c = compile(R"(
+    thread t () {
+      int i, x, state;
+      if (x > 3) x = 1; else x = 2;
+      case (state) {
+        when 0: x = 10;
+        when 1: x = 20; state = 0;
+        default: x = 0;
+      }
+      for (i = 0; i < 8; i = i + 1) x = x + i;
+      while (x != 0) { x = x - 1; if (x == 3) break; }
+    }
+  )");
+  EXPECT_TRUE(c->ok) << c->diags.str();
+  const ThreadDecl& t = c->program.threads[0];
+  ASSERT_EQ(t.body.size(), 4u);
+  EXPECT_EQ(t.body[0]->kind, StmtKind::If);
+  EXPECT_EQ(t.body[1]->kind, StmtKind::Case);
+  ASSERT_EQ(t.body[1]->arms.size(), 3u);
+  EXPECT_TRUE(t.body[1]->arms[2].is_default);
+  EXPECT_EQ(t.body[1]->arms[1].body.size(), 2u);
+  EXPECT_EQ(t.body[2]->kind, StmtKind::For);
+  EXPECT_EQ(t.body[3]->kind, StmtKind::While);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  auto c = compile("thread t () { int a, b, c; a = b + c * 2; }");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  const Stmt& s = *c->program.threads[0].body[0];
+  ASSERT_EQ(s.value->kind, ExprKind::Binary);
+  EXPECT_EQ(s.value->binary_op, BinaryOp::Add);
+  EXPECT_EQ(s.value->operands[1]->binary_op, BinaryOp::Mul);
+}
+
+TEST(Parser, LeftAssociativity) {
+  auto c = compile("thread t () { int a; a = a - 1 - 2; }");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  const Expr& e = *c->program.threads[0].body[0]->value;
+  // (a - 1) - 2
+  ASSERT_EQ(e.kind, ExprKind::Binary);
+  EXPECT_EQ(e.operands[1]->kind, ExprKind::IntLit);
+  EXPECT_EQ(e.operands[1]->int_value, 2u);
+  EXPECT_EQ(e.operands[0]->kind, ExprKind::Binary);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  auto c = compile("thread t () { int a, b, c; a = (b + c) * 2; }");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  const Expr& e = *c->program.threads[0].body[0]->value;
+  EXPECT_EQ(e.binary_op, BinaryOp::Mul);
+  EXPECT_EQ(e.operands[0]->binary_op, BinaryOp::Add);
+}
+
+TEST(Parser, CallsWithArguments) {
+  auto c = compile("thread t () { int x, y; x = f(y, 3, g());  }");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  const Expr& e = *c->program.threads[0].body[0]->value;
+  ASSERT_EQ(e.kind, ExprKind::Call);
+  EXPECT_EQ(e.name, "f");
+  ASSERT_EQ(e.operands.size(), 3u);
+  EXPECT_EQ(e.operands[2]->kind, ExprKind::Call);
+}
+
+TEST(Parser, ArrayIndexingLvalueAndRvalue) {
+  auto c = compile("thread t () { int tbl[8], i, x; tbl[i + 1] = tbl[x]; }");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  const Stmt& s = *c->program.threads[0].body[0];
+  EXPECT_EQ(s.target->kind, ExprKind::Index);
+  EXPECT_EQ(s.value->kind, ExprKind::Index);
+}
+
+TEST(Parser, MissingSemicolonDiagnosed) {
+  auto c = compile("thread t () { int x; x = 1 }");
+  EXPECT_FALSE(c->ok);
+  EXPECT_TRUE(c->diags.contains("expected"));
+}
+
+TEST(Parser, UnknownPragmaDiagnosed) {
+  auto c = compile("#frobnicate{a, b}\nthread t () { int x; x = 0; }");
+  EXPECT_FALSE(c->ok);
+  EXPECT_TRUE(c->diags.contains("unknown pragma"));
+}
+
+TEST(Parser, ProducerPragmaArityChecked) {
+  auto c = compile(R"(
+    thread t () {
+      int x, y;
+      #producer{m, [a,b], [c,d]}
+      x = y;
+    }
+  )");
+  EXPECT_FALSE(c->ok);
+  EXPECT_TRUE(c->diags.contains("exactly one"));
+}
+
+TEST(Parser, TopLevelDependencyPragmaRejected) {
+  auto c = compile("#producer{m, [t,v]}\nthread t () { int v; v = 0; }");
+  EXPECT_FALSE(c->ok);
+  EXPECT_TRUE(c->diags.contains("inside a thread"));
+}
+
+TEST(Parser, RecoversAfterBadThread) {
+  auto c = compile(R"(
+    thread bad () { int x; x = ; }
+    thread good () { int y; y = 1; }
+  )");
+  EXPECT_FALSE(c->ok);
+  // The second thread still parsed.
+  EXPECT_NE(c->program.find_thread("good"), nullptr);
+}
+
+TEST(Parser, PrintRoundTrip) {
+  auto c1 = compile(kFigure1);
+  ASSERT_TRUE(c1->ok) << c1->diags.str();
+  std::string printed = print_program(c1->program);
+  auto c2 = compile(printed);
+  EXPECT_TRUE(c2->ok) << "printed:\n" << printed << "\n" << c2->diags.str();
+  EXPECT_EQ(print_program(c2->program), printed);
+}
+
+TEST(Parser, PrintRoundTripControlFlow) {
+  const char* src = R"(
+    thread t () {
+      int i, x, state;
+      if (x > 3) { x = 1; } else { x = 2; }
+      case (state) {
+        when 0: x = 10;
+        default: x = 0;
+      }
+      for (i = 0; i < 8; i = i + 1) { x = x + i; }
+      while (x != 0) { x = x - 1; }
+    }
+  )";
+  auto c1 = compile(src);
+  ASSERT_TRUE(c1->ok) << c1->diags.str();
+  std::string printed = print_program(c1->program);
+  auto c2 = compile(printed);
+  ASSERT_TRUE(c2->ok) << "printed:\n" << printed << "\n" << c2->diags.str();
+  EXPECT_EQ(print_program(c2->program), printed);
+}
+
+}  // namespace
+}  // namespace hicsync::hic

@@ -1,0 +1,67 @@
+#include "memalloc/bram.h"
+
+#include <gtest/gtest.h>
+
+namespace hicsync::memalloc {
+namespace {
+
+TEST(Bram, LegalShapesCoverFullCapacity) {
+  for (const BramShape& s : BramModel::legal_shapes()) {
+    // ×9/×18/×36 use parity bits: capacity is 18 Kbit; ×1/×2/×4 only reach
+    // the 16 Kbit data array.
+    if (s.width % 9 == 0) {
+      EXPECT_EQ(s.capacity_bits(), 18 * 1024) << s.width;
+    } else {
+      EXPECT_EQ(s.capacity_bits(), 16 * 1024) << s.width;
+    }
+  }
+}
+
+TEST(Bram, ShapesOrderedNarrowFirst) {
+  const auto& shapes = BramModel::legal_shapes();
+  for (std::size_t i = 1; i < shapes.size(); ++i) {
+    EXPECT_LT(shapes[i - 1].width, shapes[i].width);
+  }
+}
+
+TEST(Bram, ShapeForWidthExactMatches) {
+  EXPECT_EQ(BramModel::shape_for_width(1).width, 1);
+  EXPECT_EQ(BramModel::shape_for_width(9).width, 9);
+  EXPECT_EQ(BramModel::shape_for_width(36).width, 36);
+}
+
+TEST(Bram, ShapeForWidthRoundsUp) {
+  EXPECT_EQ(BramModel::shape_for_width(3).width, 4);
+  EXPECT_EQ(BramModel::shape_for_width(8).width, 9);
+  EXPECT_EQ(BramModel::shape_for_width(12).width, 18);
+  EXPECT_EQ(BramModel::shape_for_width(32).width, 36);
+}
+
+TEST(Bram, ShapeForOversizeWidthClamps) {
+  EXPECT_EQ(BramModel::shape_for_width(64).width, 36);
+}
+
+TEST(Bram, PrimitivesForSmallFitsInOne) {
+  EXPECT_EQ(BramModel::primitives_for(32, 10), 1);
+  EXPECT_EQ(BramModel::primitives_for(1, 16384), 1);
+  EXPECT_EQ(BramModel::primitives_for(36, 512), 1);
+}
+
+TEST(Bram, PrimitivesGangInDepth) {
+  EXPECT_EQ(BramModel::primitives_for(36, 513), 2);
+  EXPECT_EQ(BramModel::primitives_for(1, 16385), 2);
+}
+
+TEST(Bram, PrimitivesGangInWidth) {
+  // 64-bit words: 2 columns of ×36.
+  EXPECT_EQ(BramModel::primitives_for(64, 512), 2);
+  EXPECT_EQ(BramModel::primitives_for(72, 513), 4);
+}
+
+TEST(Bram, PrimitivesForDegenerate) {
+  EXPECT_EQ(BramModel::primitives_for(0, 100), 0);
+  EXPECT_EQ(BramModel::primitives_for(8, 0), 0);
+}
+
+}  // namespace
+}  // namespace hicsync::memalloc

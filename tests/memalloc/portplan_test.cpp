@@ -1,0 +1,132 @@
+#include "memalloc/portplan.h"
+
+#include <gtest/gtest.h>
+
+#include "../hic/hic_test_util.h"
+
+namespace hicsync::memalloc {
+namespace {
+
+using hic::testing::compile;
+using hic::testing::kFigure1;
+
+struct Built {
+  std::unique_ptr<hic::testing::Compiled> c;
+  MemoryMap map;
+  std::vector<synth::ThreadFsm> fsms;
+  std::vector<BramPortPlan> plans;
+};
+
+Built build(const std::string& src) {
+  Built b;
+  b.c = compile(src);
+  EXPECT_TRUE(b.c->ok) << b.c->diags.str();
+  b.map = Allocator().allocate(*b.c->sema);
+  for (const auto& t : b.c->program.threads) {
+    b.fsms.push_back(synth::ThreadFsm::synthesize(t, *b.c->sema));
+  }
+  b.plans = PortPlanner::plan(*b.c->sema, b.map, b.fsms);
+  return b;
+}
+
+TEST(PortPlan, Figure1Assignment) {
+  auto b = build(kFigure1);
+  ASSERT_EQ(b.plans.size(), 1u);
+  const BramPortPlan& p = b.plans[0];
+  EXPECT_EQ(p.producer_pseudo_ports(), 1);
+  EXPECT_EQ(p.consumer_pseudo_ports(), 2);
+  const PortClient* prod = p.client_for("t1", LogicalPort::D);
+  ASSERT_NE(prod, nullptr);
+  EXPECT_EQ(prod->pseudo_port, 0);
+  ASSERT_EQ(prod->deps.size(), 1u);
+  const PortClient* c2 = p.client_for("t2", LogicalPort::C);
+  const PortClient* c3 = p.client_for("t3", LogicalPort::C);
+  ASSERT_NE(c2, nullptr);
+  ASSERT_NE(c3, nullptr);
+  // Pseudo-port order follows the #consumer pragma order.
+  EXPECT_EQ(c2->pseudo_port, 0);
+  EXPECT_EQ(c3->pseudo_port, 1);
+}
+
+TEST(PortPlan, NoPortAClientsWhenAllAccessesAreDependent) {
+  auto b = build(kFigure1);
+  for (const auto& c : b.plans[0].clients) {
+    EXPECT_NE(c.port, LogicalPort::A);
+    EXPECT_NE(c.port, LogicalPort::B);
+  }
+}
+
+TEST(PortPlan, PlainArrayAccessGoesToPortA) {
+  auto b = build(R"(
+    thread p () {
+      int a;
+      int tbl[8];
+      #consumer{d, [q,u]}
+      a = 1;
+      tbl[0] = a;
+    }
+    thread q () {
+      int u;
+      #producer{d, [p,a]}
+      u = a;
+    }
+  )");
+  ASSERT_EQ(b.plans.size(), 1u);
+  const PortClient* pa = b.plans[0].client_for("p", LogicalPort::A);
+  ASSERT_NE(pa, nullptr);
+  EXPECT_TRUE(pa->deps.empty());
+}
+
+TEST(PortPlan, EightConsumers) {
+  std::string src = R"(
+    thread p () {
+      int data;
+      #consumer{m, [c0,v0], [c1,v1], [c2,v2], [c3,v3], [c4,v4], [c5,v5], [c6,v6], [c7,v7]}
+      data = f();
+    }
+  )";
+  for (int i = 0; i < 8; ++i) {
+    std::string n = std::to_string(i);
+    src += "thread c" + n + " () { int v" + n + "; #producer{m, [p,data]} v" +
+           n + " = g(data); }\n";
+  }
+  auto b = build(src);
+  ASSERT_EQ(b.plans.size(), 1u);
+  EXPECT_EQ(b.plans[0].consumer_pseudo_ports(), 8);
+  EXPECT_EQ(b.plans[0].producer_pseudo_ports(), 1);
+  // Pseudo ports are densely numbered 0..7.
+  std::vector<bool> seen(8, false);
+  for (const auto& c : b.plans[0].clients) {
+    if (c.port == LogicalPort::C) {
+      seen[static_cast<std::size_t>(c.pseudo_port)] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(PortPlan, ThreadConsumingTwoDepsHasOnePseudoPort) {
+  auto b = build(R"(
+    thread p () {
+      int a, bb;
+      #consumer{da, [c1,u]}
+      a = 1;
+      #consumer{db, [c1,v]}
+      bb = 2;
+    }
+    thread c1 () {
+      int u, v;
+      #producer{da, [p,a]}
+      u = a;
+      #producer{db, [p,bb]}
+      v = bb;
+    }
+  )");
+  ASSERT_EQ(b.plans.size(), 1u);
+  EXPECT_EQ(b.plans[0].consumer_pseudo_ports(), 1);
+  const PortClient* c = b.plans[0].client_for("c1", LogicalPort::C);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->deps.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hicsync::memalloc

@@ -1,0 +1,46 @@
+// Helpers for driving generated memory-organization modules in tests.
+#pragma once
+
+#include <string>
+
+#include "memorg/arbitrated.h"
+#include "memorg/eventdriven.h"
+#include "rtl/eval.h"
+
+namespace hicsync::memorg::testing {
+
+/// A 1-producer / N-consumer config with one dependency at base address 4,
+/// mirroring the paper's experimental scenarios.
+inline ArbitratedConfig arb_config(int consumers, int producers = 1) {
+  ArbitratedConfig cfg;
+  cfg.num_consumers = consumers;
+  cfg.num_producers = producers;
+  DepEntry e;
+  e.id = "mt1";
+  e.base_address = 4;
+  e.dependency_number = consumers;
+  e.producer_port = 0;
+  for (int i = 0; i < consumers; ++i) e.consumer_ports.push_back(i);
+  cfg.deps.push_back(std::move(e));
+  return cfg;
+}
+
+inline EventDrivenConfig ev_config(int consumers, int producers = 1) {
+  EventDrivenConfig cfg;
+  cfg.num_consumers = consumers;
+  cfg.num_producers = producers;
+  DepEntry e;
+  e.id = "mt1";
+  e.base_address = 4;
+  e.dependency_number = consumers;
+  e.producer_port = 0;
+  for (int i = 0; i < consumers; ++i) e.consumer_ports.push_back(i);
+  cfg.deps.push_back(std::move(e));
+  return cfg;
+}
+
+inline std::string idx(const std::string& base, int i) {
+  return base + std::to_string(i);
+}
+
+}  // namespace hicsync::memorg::testing

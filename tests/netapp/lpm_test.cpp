@@ -1,0 +1,100 @@
+#include "netapp/lpm.h"
+
+#include <gtest/gtest.h>
+
+namespace hicsync::netapp {
+namespace {
+
+TEST(Lpm, ParseIpv4) {
+  EXPECT_EQ(parse_ipv4("10.1.2.3").value(), 0x0A010203u);
+  EXPECT_EQ(parse_ipv4("255.255.255.255").value(), 0xFFFFFFFFu);
+  EXPECT_FALSE(parse_ipv4("10.1.2").has_value());
+  EXPECT_FALSE(parse_ipv4("10.1.2.256").has_value());
+  EXPECT_FALSE(parse_ipv4("a.b.c.d").has_value());
+}
+
+TEST(Lpm, EmptyTableHasNoRoute) {
+  LpmTable t;
+  EXPECT_FALSE(t.lookup(0x0A000001).has_value());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Lpm, ExactAndDefaultRoutes) {
+  LpmTable t;
+  ASSERT_TRUE(t.insert_cidr("0.0.0.0/0", 9));        // default
+  ASSERT_TRUE(t.insert_cidr("10.1.0.0/16", 1));
+  EXPECT_EQ(t.lookup(parse_ipv4("10.1.5.5").value()).value(), 1);
+  EXPECT_EQ(t.lookup(parse_ipv4("192.168.0.1").value()).value(), 9);
+}
+
+TEST(Lpm, LongestPrefixWins) {
+  LpmTable t;
+  t.insert_cidr("10.0.0.0/8", 1);
+  t.insert_cidr("10.1.0.0/16", 2);
+  t.insert_cidr("10.1.2.0/24", 3);
+  EXPECT_EQ(t.lookup(parse_ipv4("10.1.2.9").value()).value(), 3);
+  EXPECT_EQ(t.lookup(parse_ipv4("10.1.9.9").value()).value(), 2);
+  EXPECT_EQ(t.lookup(parse_ipv4("10.9.9.9").value()).value(), 1);
+  EXPECT_FALSE(t.lookup(parse_ipv4("11.0.0.1").value()).has_value());
+}
+
+TEST(Lpm, ReinsertOverwrites) {
+  LpmTable t;
+  t.insert_cidr("10.0.0.0/8", 1);
+  t.insert_cidr("10.0.0.0/8", 7);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lookup(parse_ipv4("10.1.1.1").value()).value(), 7);
+}
+
+TEST(Lpm, HostRoute) {
+  LpmTable t;
+  t.insert_cidr("10.0.0.0/8", 1);
+  t.insert_cidr("10.0.0.42/32", 5);
+  EXPECT_EQ(t.lookup(parse_ipv4("10.0.0.42").value()).value(), 5);
+  EXPECT_EQ(t.lookup(parse_ipv4("10.0.0.43").value()).value(), 1);
+}
+
+TEST(Lpm, MalformedCidrRejected) {
+  LpmTable t;
+  EXPECT_FALSE(t.insert_cidr("10.0.0.0", 1));
+  EXPECT_FALSE(t.insert_cidr("10.0.0.0/33", 1));
+  EXPECT_FALSE(t.insert_cidr("zz/8", 1));
+}
+
+TEST(Lpm, FlattenMatchesTrieOnPrefixBoundaries) {
+  LpmTable t;
+  t.insert_cidr("10.0.0.0/8", 1);
+  t.insert_cidr("10.128.0.0/9", 2);
+  auto table = t.flatten(10);
+  ASSERT_EQ(table.size(), 1024u);
+  // Index of 10.0.x.x at 10 bits: top 10 bits of 0x0A000000.
+  std::size_t idx_low = 0x0A000000u >> 22;
+  std::size_t idx_high = 0x0A800000u >> 22;
+  EXPECT_EQ(table[idx_low], 2u);   // next_hop 1 + 1
+  EXPECT_EQ(table[idx_high], 3u);  // next_hop 2 + 1
+  EXPECT_EQ(table[0], 0u);         // no route
+}
+
+// Property sweep: flatten agrees with lookup for every table index.
+class FlattenProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlattenProperty, AgreesWithTrie) {
+  const int bits = GetParam();
+  LpmTable t;
+  t.insert_cidr("10.0.0.0/8", 1);
+  t.insert_cidr("10.64.0.0/10", 2);
+  t.insert_cidr("192.168.0.0/16", 3);
+  auto table = t.flatten(bits);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    std::uint32_t addr = static_cast<std::uint32_t>(i) << (32 - bits);
+    auto hop = t.lookup(addr);
+    std::uint16_t expect =
+        hop.has_value() ? static_cast<std::uint16_t>(*hop + 1) : 0;
+    ASSERT_EQ(table[i], expect) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, FlattenProperty, ::testing::Values(4, 8, 10));
+
+}  // namespace
+}  // namespace hicsync::netapp

@@ -1,0 +1,105 @@
+#include "netapp/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace hicsync::netapp {
+namespace {
+
+Ipv4Header sample_header() {
+  Ipv4Header h;
+  h.total_length = 60;
+  h.identification = 0x1C46;
+  h.flags_fragment = 0x4000;
+  h.ttl = 64;
+  h.protocol = 6;
+  h.src = 0xAC100A63;  // 172.16.10.99
+  h.dst = 0xAC100A0C;  // 172.16.10.12
+  return h;
+}
+
+TEST(Packet, SerializeParseRoundTrip) {
+  Ipv4Header h = sample_header();
+  h.finalize_checksum();
+  auto bytes = h.serialize();
+  Ipv4Header parsed;
+  ASSERT_TRUE(Ipv4Header::parse(bytes.data(), &parsed));
+  EXPECT_EQ(parsed.src, h.src);
+  EXPECT_EQ(parsed.dst, h.dst);
+  EXPECT_EQ(parsed.ttl, h.ttl);
+  EXPECT_EQ(parsed.total_length, h.total_length);
+  EXPECT_EQ(parsed.checksum, h.checksum);
+}
+
+TEST(Packet, ParseRejectsBadVersion) {
+  Ipv4Header h = sample_header();
+  auto bytes = h.serialize();
+  bytes[0] = 0x65;  // version 6
+  Ipv4Header parsed;
+  EXPECT_FALSE(Ipv4Header::parse(bytes.data(), &parsed));
+}
+
+TEST(Packet, KnownChecksumVector) {
+  // Classic RFC 1071 worked example (the Wikipedia/Stevens header).
+  Ipv4Header h;
+  h.tos = 0;
+  h.total_length = 0x0073;
+  h.identification = 0;
+  h.flags_fragment = 0x4000;
+  h.ttl = 0x40;
+  h.protocol = 0x11;
+  h.src = 0xC0A80001;
+  h.dst = 0xC0A800C7;
+  EXPECT_EQ(h.compute_checksum(), 0xB861);
+}
+
+TEST(Packet, ChecksumVerifies) {
+  Ipv4Header h = sample_header();
+  h.finalize_checksum();
+  EXPECT_TRUE(h.checksum_ok());
+  h.dst ^= 1;
+  EXPECT_FALSE(h.checksum_ok());
+}
+
+TEST(Packet, ForwardHopDecrementsTtlKeepsChecksumValid) {
+  Ipv4Header h = sample_header();
+  h.finalize_checksum();
+  ASSERT_TRUE(h.forward_hop());
+  EXPECT_EQ(h.ttl, 63);
+  // Incremental update must agree with a full recompute.
+  EXPECT_TRUE(h.checksum_ok());
+  EXPECT_EQ(h.checksum, h.compute_checksum());
+}
+
+TEST(Packet, ForwardHopManyTimesStaysConsistent) {
+  Ipv4Header h = sample_header();
+  h.ttl = 16;
+  h.finalize_checksum();
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(h.forward_hop()) << i;
+    EXPECT_TRUE(h.checksum_ok()) << i;
+  }
+  EXPECT_EQ(h.ttl, 0);
+}
+
+TEST(Packet, ForwardHopDropsAtZeroTtl) {
+  Ipv4Header h = sample_header();
+  h.ttl = 0;
+  h.finalize_checksum();
+  EXPECT_FALSE(h.forward_hop());
+}
+
+TEST(Packet, OnesComplementOddLength) {
+  std::uint8_t data[3] = {0x12, 0x34, 0x56};
+  // 0x1234 + 0x5600 = 0x6834
+  EXPECT_EQ(ones_complement_sum(data, 3), 0x6834);
+}
+
+TEST(Packet, DescriptorFields) {
+  std::uint32_t d = make_descriptor(0x0123, 5, 2);
+  EXPECT_EQ(descriptor_slot(d), 0x0123);
+  EXPECT_EQ(descriptor_port(d), 5);
+  EXPECT_EQ(descriptor_len_class(d), 2);
+}
+
+}  // namespace
+}  // namespace hicsync::netapp

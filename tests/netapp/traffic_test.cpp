@@ -1,0 +1,94 @@
+#include "netapp/traffic.h"
+
+#include <gtest/gtest.h>
+
+namespace hicsync::netapp {
+namespace {
+
+TEST(Traffic, CbrPeriodsExact) {
+  CbrArrivals cbr(10, 3);
+  EXPECT_EQ(cbr.next_arrival(), 3u);
+  EXPECT_EQ(cbr.next_arrival(), 13u);
+  EXPECT_EQ(cbr.next_arrival(), 23u);
+}
+
+TEST(Traffic, CbrZeroPeriodClamped) {
+  CbrArrivals cbr(0);
+  std::uint64_t a = cbr.next_arrival();
+  std::uint64_t b = cbr.next_arrival();
+  EXPECT_GT(b, a);
+}
+
+TEST(Traffic, PoissonStrictlyIncreasing) {
+  PoissonArrivals p(0.2, 42);
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::uint64_t a = p.next_arrival();
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+}
+
+TEST(Traffic, PoissonRateApproximatesP) {
+  PoissonArrivals p(0.1, 7);
+  std::uint64_t last = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) last = p.next_arrival();
+  double rate = static_cast<double>(n) / static_cast<double>(last);
+  EXPECT_NEAR(rate, 0.1, 0.01);
+}
+
+TEST(Traffic, PoissonDeterministicPerSeed) {
+  PoissonArrivals a(0.3, 99);
+  PoissonArrivals b(0.3, 99);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.next_arrival(), b.next_arrival());
+  }
+}
+
+TEST(Traffic, BurstyProducesClusters) {
+  BurstyArrivals b(0.02, 0.3, 2, 11);
+  std::vector<std::uint64_t> arrivals;
+  for (int i = 0; i < 500; ++i) arrivals.push_back(b.next_arrival());
+  // Strictly increasing and contains some back-to-back gaps of exactly 2.
+  int tight_gaps = 0;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    ASSERT_GT(arrivals[i], arrivals[i - 1]);
+    if (arrivals[i] - arrivals[i - 1] == 2) ++tight_gaps;
+  }
+  EXPECT_GT(tight_gaps, 50);
+}
+
+TEST(Traffic, ArrivalGateReleasesOncePerArrival) {
+  auto gate = arrival_gate(std::make_shared<CbrArrivals>(10, 5));
+  int releases = 0;
+  for (std::uint64_t cycle = 0; cycle < 35; ++cycle) {
+    if (gate(cycle)) ++releases;
+  }
+  // Arrivals at 5, 15, 25 within 35 cycles.
+  EXPECT_EQ(releases, 3);
+}
+
+TEST(Traffic, PacketFactoryProducesValidPackets) {
+  PacketFactory f(123);
+  for (int i = 0; i < 100; ++i) {
+    Packet p = f.make();
+    EXPECT_TRUE(p.header.checksum_ok()) << i;
+    EXPECT_EQ(p.header.total_length, p.wire_length());
+    EXPECT_GE(p.header.ttl, 2);
+  }
+}
+
+TEST(Traffic, PacketFactoryDeterministicPerSeed) {
+  PacketFactory a(5);
+  PacketFactory b(5);
+  for (int i = 0; i < 20; ++i) {
+    Packet pa = a.make();
+    Packet pb = b.make();
+    EXPECT_EQ(pa.header.dst, pb.header.dst);
+    EXPECT_EQ(pa.header.src, pb.header.src);
+  }
+}
+
+}  // namespace
+}  // namespace hicsync::netapp

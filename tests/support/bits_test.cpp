@@ -1,0 +1,73 @@
+#include "support/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace hicsync::support {
+namespace {
+
+TEST(Bits, Clog2SmallValues) {
+  EXPECT_EQ(clog2(0), 0);
+  EXPECT_EQ(clog2(1), 0);
+  EXPECT_EQ(clog2(2), 1);
+  EXPECT_EQ(clog2(3), 2);
+  EXPECT_EQ(clog2(4), 2);
+  EXPECT_EQ(clog2(5), 3);
+  EXPECT_EQ(clog2(8), 3);
+  EXPECT_EQ(clog2(9), 4);
+}
+
+TEST(Bits, Clog2LargeValues) {
+  EXPECT_EQ(clog2(1ULL << 32), 32);
+  EXPECT_EQ(clog2((1ULL << 32) + 1), 33);
+}
+
+TEST(Bits, Clog2AtLeast1) {
+  EXPECT_EQ(clog2_at_least1(1), 1);
+  EXPECT_EQ(clog2_at_least1(2), 1);
+  EXPECT_EQ(clog2_at_least1(3), 2);
+}
+
+TEST(Bits, RoundUp) {
+  EXPECT_EQ(round_up(0, 8), 0u);
+  EXPECT_EQ(round_up(1, 8), 8u);
+  EXPECT_EQ(round_up(8, 8), 8u);
+  EXPECT_EQ(round_up(9, 8), 16u);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(1023));
+}
+
+TEST(Bits, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(17), 32u);
+}
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(8), 0xFFu);
+  EXPECT_EQ(low_mask(64), ~0ULL);
+}
+
+// Property: clog2 is the inverse of shifting — for all k in [0,63],
+// clog2(2^k) == k and clog2(2^k + 1) == k + 1.
+TEST(Bits, Clog2PowerOfTwoProperty) {
+  for (int k = 0; k < 63; ++k) {
+    std::uint64_t v = 1ULL << k;
+    EXPECT_EQ(clog2(v), k) << "k=" << k;
+    if (k > 0) {
+      EXPECT_EQ(clog2(v + 1), k + 1) << "k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hicsync::support

@@ -1,0 +1,70 @@
+#include "support/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+namespace hicsync::support {
+namespace {
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  DiagnosticEngine d;
+  d.warning({1, 1, 0}, "w");
+  d.note({1, 2, 1}, "n");
+  EXPECT_FALSE(d.has_errors());
+  d.error({2, 1, 5}, "e");
+  EXPECT_TRUE(d.has_errors());
+  EXPECT_EQ(d.error_count(), 1u);
+  EXPECT_EQ(d.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, ContainsSearchesMessages) {
+  DiagnosticEngine d;
+  d.error({1, 1, 0}, "unknown variable 'x1'");
+  EXPECT_TRUE(d.contains("unknown variable"));
+  EXPECT_TRUE(d.contains("x1"));
+  EXPECT_FALSE(d.contains("type error"));
+}
+
+TEST(Diagnostics, StrFormatsLocation) {
+  DiagnosticEngine d;
+  d.error({3, 7, 20}, "boom");
+  EXPECT_NE(d.str().find("3:7: error: boom"), std::string::npos);
+}
+
+TEST(Diagnostics, StrWithoutLocation) {
+  DiagnosticEngine d;
+  d.error({}, "general failure");
+  EXPECT_NE(d.str().find("error: general failure"), std::string::npos);
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine d;
+  d.error({1, 1, 0}, "e");
+  d.clear();
+  EXPECT_FALSE(d.has_errors());
+  EXPECT_TRUE(d.diagnostics().empty());
+}
+
+TEST(Diagnostics, CompileErrorCarriesLocation) {
+  CompileError err({4, 2, 9}, "bad parse");
+  EXPECT_EQ(err.loc().line, 4u);
+  EXPECT_NE(std::string(err.what()).find("4:2"), std::string::npos);
+}
+
+TEST(SourceLoc, InvalidByDefault) {
+  SourceLoc loc;
+  EXPECT_FALSE(loc.valid());
+  EXPECT_EQ(loc.str(), "<unknown>");
+}
+
+TEST(SourceRange, SameLineFormat) {
+  SourceRange r{{1, 2, 0}, {1, 9, 7}};
+  EXPECT_EQ(r.str(), "1:2-9");
+}
+
+TEST(SourceRange, CrossLineFormat) {
+  SourceRange r{{1, 2, 0}, {3, 4, 30}};
+  EXPECT_EQ(r.str(), "1:2-3:4");
+}
+
+}  // namespace
+}  // namespace hicsync::support

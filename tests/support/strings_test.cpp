@@ -1,0 +1,80 @@
+#include "support/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace hicsync::support {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitNoSeparator) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitEmptyString) {
+  auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+}
+
+TEST(Strings, TrimAllWhitespace) { EXPECT_EQ(trim(" \t "), ""); }
+
+TEST(Strings, TrimNothingToDo) { EXPECT_EQ(trim("x y"), "x y"); }
+
+TEST(Strings, JoinBasic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Strings, JoinEmpty) { EXPECT_EQ(join({}, ","), ""); }
+
+TEST(Strings, JoinSingle) { EXPECT_EQ(join({"only"}, ","), "only"); }
+
+TEST(Strings, IsIdentifierAccepts) {
+  EXPECT_TRUE(is_identifier("x"));
+  EXPECT_TRUE(is_identifier("_foo"));
+  EXPECT_TRUE(is_identifier("a1_b2"));
+}
+
+TEST(Strings, IsIdentifierRejects) {
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("1abc"));
+  EXPECT_FALSE(is_identifier("a-b"));
+  EXPECT_FALSE(is_identifier("a b"));
+}
+
+TEST(Strings, IndentMultiline) {
+  EXPECT_EQ(indent("a\nb", 2), "  a\n  b");
+}
+
+TEST(Strings, IndentSkipsEmptyLines) {
+  EXPECT_EQ(indent("a\n\nb", 2), "  a\n\n  b");
+}
+
+TEST(Strings, FormatBasic) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+}
+
+TEST(Strings, FormatEmpty) { EXPECT_EQ(format("%s", ""), ""); }
+
+}  // namespace
+}  // namespace hicsync::support

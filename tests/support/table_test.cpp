@@ -1,0 +1,47 @@
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+namespace hicsync::support {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"P/C", "LUT", "FF"});
+  t.add_row({"1/2", "100", "66"});
+  t.add_row({"1/8", "1234", "66"});
+  std::string s = t.str();
+  EXPECT_NE(s.find("P/C"), std::string::npos);
+  EXPECT_NE(s.find("1234"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"a", "b"});
+  t.add_row({"xx", "y"});
+  std::string s = t.str();
+  // "a" padded to width of "xx": both rows start their second column at the
+  // same offset.
+  auto lines_at = [&](int n) {
+    std::size_t pos = 0;
+    for (int i = 0; i < n; ++i) pos = s.find('\n', pos) + 1;
+    return s.substr(pos, s.find('\n', pos) - pos);
+  };
+  std::string header = lines_at(0);
+  std::string row = lines_at(2);
+  EXPECT_EQ(header.find('b'), row.find('y'));
+}
+
+TEST(TextTable, ArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyTableStillRendersHeader) {
+  TextTable t({"col"});
+  EXPECT_EQ(t.rows(), 0u);
+  EXPECT_NE(t.str().find("col"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hicsync::support

@@ -1,0 +1,91 @@
+#include "synth/datapath.h"
+
+#include <gtest/gtest.h>
+
+#include "../hic/hic_test_util.h"
+
+namespace hicsync::synth {
+namespace {
+
+using hic::testing::compile;
+
+DatapathSummary extract(const std::string& src) {
+  auto c = compile(src);
+  EXPECT_TRUE(c->ok) << c->diags.str();
+  ThreadFsm fsm = ThreadFsm::synthesize(c->program.threads.at(0), *c->sema);
+  return DatapathSummary::extract(fsm);
+}
+
+TEST(Datapath, CountsAdders) {
+  auto d = extract("thread t () { int a, b; a = b + 1 + 2; }");
+  EXPECT_EQ(d.count(OpClass::AddSub), 2);
+}
+
+TEST(Datapath, ClassifiesOperators) {
+  auto d = extract(R"(
+    thread t () {
+      int a, b;
+      a = b * 2;
+      a = b / 2;
+      a = b & 3;
+      a = b << 1;
+      a = -b;
+    }
+  )");
+  EXPECT_EQ(d.count(OpClass::Mul), 1);
+  EXPECT_EQ(d.count(OpClass::DivMod), 1);
+  EXPECT_EQ(d.count(OpClass::Bitwise), 1);
+  EXPECT_EQ(d.count(OpClass::Shift), 1);
+  EXPECT_EQ(d.count(OpClass::AddSub), 1);  // unary neg
+}
+
+TEST(Datapath, BranchContributesCompareAndMux) {
+  auto d = extract("thread t () { int a; if (a == 3) a = 1; }");
+  EXPECT_EQ(d.count(OpClass::Compare), 1);
+  EXPECT_EQ(d.count(OpClass::Mux), 1);
+}
+
+TEST(Datapath, ExternCallCounted) {
+  auto d = extract("thread t () { int a, b; a = f(b, 1); }");
+  EXPECT_EQ(d.count(OpClass::ExternCall), 1);
+}
+
+TEST(Datapath, WidthTracking) {
+  auto d = extract(R"(
+    thread t () {
+      bits<12> n;
+      char c;
+      int w;
+      n = n + 1;
+      c = c + 1;
+      w = w + 1;
+    }
+  )");
+  EXPECT_EQ(d.max_width(), 32);
+  // Three adders of widths 12, 8, 32.
+  EXPECT_EQ(d.count(OpClass::AddSub), 3);
+}
+
+TEST(Datapath, PeakPerStateEnablesSharing) {
+  // Two adds in one statement (one state) but also two states each with one
+  // add: peak per state is 2, total 4.
+  auto d = extract(R"(
+    thread t () {
+      int a, b;
+      a = b + 1 + 2;
+      b = a + 1 + 5;
+    }
+  )");
+  EXPECT_EQ(d.count(OpClass::AddSub), 4);
+  auto peak = d.peak_per_state();
+  EXPECT_EQ(peak[OpClass::AddSub], 2);
+}
+
+TEST(Datapath, EmptyThreadHasNoOps) {
+  auto d = extract("thread t () { int unused; }");
+  EXPECT_EQ(d.total(), 0);
+  EXPECT_EQ(d.max_width(), 0);
+}
+
+}  // namespace
+}  // namespace hicsync::synth

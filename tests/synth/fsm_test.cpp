@@ -1,0 +1,217 @@
+#include "synth/fsm.h"
+
+#include <gtest/gtest.h>
+
+#include "../hic/hic_test_util.h"
+
+namespace hicsync::synth {
+namespace {
+
+using hic::testing::compile;
+using hic::testing::kFigure1;
+
+ThreadFsm synth_one(const hic::testing::Compiled& c, std::size_t idx = 0) {
+  return ThreadFsm::synthesize(c.program.threads.at(idx), *c.sema);
+}
+
+TEST(Fsm, StraightLineStates) {
+  auto c = compile("thread t () { int a, b; a = 1; b = a; }");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  ThreadFsm fsm = synth_one(*c);
+  // 2 action states + done.
+  EXPECT_EQ(fsm.states().size(), 3u);
+  EXPECT_TRUE(fsm.validate());
+  EXPECT_EQ(fsm.state(fsm.initial()).kind, StateKind::Action);
+  EXPECT_EQ(fsm.state(fsm.done()).kind, StateKind::Done);
+}
+
+TEST(Fsm, EmptyThreadIsJustDone) {
+  auto c = compile("thread t () { int unused; }");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  ThreadFsm fsm = synth_one(*c);
+  EXPECT_EQ(fsm.states().size(), 1u);
+  EXPECT_EQ(fsm.initial(), fsm.done());
+  EXPECT_TRUE(fsm.validate());
+}
+
+TEST(Fsm, IfBranchTargets) {
+  auto c = compile(R"(
+    thread t () {
+      int x;
+      if (x > 0) x = 1; else x = 2;
+      x = 3;
+    }
+  )");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  ThreadFsm fsm = synth_one(*c);
+  EXPECT_TRUE(fsm.validate());
+  const FsmState& branch = fsm.state(fsm.initial());
+  ASSERT_EQ(branch.kind, StateKind::Branch);
+  ASSERT_GE(branch.true_target, 0);
+  ASSERT_GE(branch.false_target, 0);
+  EXPECT_NE(branch.true_target, branch.false_target);
+  // Both arms converge on the x=3 state.
+  EXPECT_EQ(fsm.state(branch.true_target).next,
+            fsm.state(branch.false_target).next);
+}
+
+TEST(Fsm, WhileLoopBackEdge) {
+  auto c = compile("thread t () { int x; while (x > 0) x = x - 1; }");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  ThreadFsm fsm = synth_one(*c);
+  EXPECT_TRUE(fsm.validate());
+  const FsmState& branch = fsm.state(fsm.initial());
+  ASSERT_EQ(branch.kind, StateKind::Branch);
+  const FsmState& body = fsm.state(branch.true_target);
+  EXPECT_EQ(body.next, branch.id);
+  EXPECT_EQ(fsm.state(branch.false_target).kind, StateKind::Done);
+  // Loops make the latency bound undefined.
+  EXPECT_EQ(fsm.latency_bound(), -1);
+}
+
+TEST(Fsm, ForLoopHasInitBranchStep) {
+  auto c = compile(R"(
+    thread t () {
+      int i, acc;
+      for (i = 0; i < 4; i = i + 1) acc = acc + i;
+    }
+  )");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  ThreadFsm fsm = synth_one(*c);
+  EXPECT_TRUE(fsm.validate());
+  // init, branch, body, step, done.
+  EXPECT_EQ(fsm.states().size(), 5u);
+  // initial is the init assignment.
+  EXPECT_EQ(fsm.state(fsm.initial()).kind, StateKind::Action);
+}
+
+TEST(Fsm, CaseTransitions) {
+  auto c = compile(R"(
+    thread t () {
+      int s, x;
+      case (s) {
+        when 0: x = 1;
+        when 5: x = 2;
+        default: x = 3;
+      }
+    }
+  )");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  ThreadFsm fsm = synth_one(*c);
+  EXPECT_TRUE(fsm.validate());
+  const FsmState& branch = fsm.state(fsm.initial());
+  ASSERT_EQ(branch.kind, StateKind::Branch);
+  ASSERT_EQ(branch.case_targets.size(), 3u);
+  EXPECT_EQ(branch.case_targets[0].value, 0u);
+  EXPECT_EQ(branch.case_targets[1].value, 5u);
+  EXPECT_TRUE(branch.case_targets[2].is_default);
+}
+
+TEST(Fsm, CaseWithoutDefaultGetsImplicitOne) {
+  auto c = compile(R"(
+    thread t () {
+      int s, x;
+      case (s) { when 0: x = 1; }
+      x = 9;
+    }
+  )");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  ThreadFsm fsm = synth_one(*c);
+  EXPECT_TRUE(fsm.validate());
+  const FsmState& branch = fsm.state(fsm.initial());
+  ASSERT_EQ(branch.case_targets.size(), 2u);
+  EXPECT_TRUE(branch.case_targets[1].is_default);
+  // Implicit default goes to the statement after the case.
+  const FsmState& join = fsm.state(branch.case_targets[1].target);
+  EXPECT_EQ(join.kind, StateKind::Action);
+}
+
+TEST(Fsm, BreakExitsLoop) {
+  auto c = compile(R"(
+    thread t () {
+      int x;
+      while (1) { x = x + 1; if (x == 3) break; }
+      x = 0;
+    }
+  )");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  ThreadFsm fsm = synth_one(*c);
+  EXPECT_TRUE(fsm.validate()) << fsm.str();
+}
+
+TEST(Fsm, Figure1ProducerAnnotation) {
+  auto c = compile(kFigure1);
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  ThreadFsm t1 = synth_one(*c, 0);
+  auto producing = t1.producing_states();
+  ASSERT_EQ(producing.size(), 1u);
+  const FsmState& s = t1.state(producing[0]);
+  // Exactly one producer-write access of x1.
+  int producer_writes = 0;
+  for (const auto& a : s.accesses) {
+    if (a.role == AccessRole::ProducerWrite) {
+      ++producer_writes;
+      EXPECT_EQ(a.symbol->qualified_name(), "t1.x1");
+      ASSERT_NE(a.dep, nullptr);
+      EXPECT_EQ(a.dep->id, "mt1");
+    }
+  }
+  EXPECT_EQ(producer_writes, 1);
+  EXPECT_TRUE(t1.blocking_states().empty());
+}
+
+TEST(Fsm, Figure1ConsumerAnnotation) {
+  auto c = compile(kFigure1);
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  ThreadFsm t2 = synth_one(*c, 1);
+  auto blocking = t2.blocking_states();
+  ASSERT_EQ(blocking.size(), 1u);
+  const FsmState& s = t2.state(blocking[0]);
+  EXPECT_TRUE(s.blocks());
+  int consumer_reads = 0;
+  for (const auto& a : s.accesses) {
+    if (a.role == AccessRole::ConsumerRead) {
+      ++consumer_reads;
+      EXPECT_EQ(a.symbol->qualified_name(), "t1.x1");
+    }
+  }
+  EXPECT_EQ(consumer_reads, 1);
+  EXPECT_TRUE(t2.producing_states().empty());
+}
+
+TEST(Fsm, LatencyBoundStraightLine) {
+  auto c = compile("thread t () { int a; a = 1; a = 2; a = 3; }");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  ThreadFsm fsm = synth_one(*c);
+  // 3 action cycles + the done state.
+  EXPECT_EQ(fsm.latency_bound(), 4);
+}
+
+TEST(Fsm, LatencyBoundTakesLongestBranch) {
+  auto c = compile(R"(
+    thread t () {
+      int x;
+      if (x > 0) { x = 1; x = 2; x = 3; } else x = 9;
+    }
+  )");
+  ASSERT_TRUE(c->ok) << c->diags.str();
+  ThreadFsm fsm = synth_one(*c);
+  // branch + 3 actions + done.
+  EXPECT_EQ(fsm.latency_bound(), 5);
+}
+
+TEST(Fsm, StateBits) {
+  auto c = compile("thread t () { int a; a = 1; a = 2; a = 3; }");
+  ThreadFsm fsm = synth_one(*c);
+  // 4 states -> 2 bits.
+  EXPECT_EQ(fsm.state_bits(), 2);
+}
+
+TEST(Fsm, StrMentionsRoles) {
+  auto c = compile(kFigure1);
+  ThreadFsm t1 = synth_one(*c, 0);
+  EXPECT_NE(t1.str().find("producer-write"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hicsync::synth

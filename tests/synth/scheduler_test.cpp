@@ -1,0 +1,133 @@
+#include "synth/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "../hic/hic_test_util.h"
+
+namespace hicsync::synth {
+namespace {
+
+using hic::testing::compile;
+
+ThreadFsm synth(const std::string& src, const SchedulePolicy& policy) {
+  auto c = compile(src);
+  EXPECT_TRUE(c->ok) << c->diags.str();
+  ThreadFsm fsm = ThreadFsm::synthesize(c->program.threads.at(0), *c->sema);
+  schedule(fsm, policy);
+  EXPECT_TRUE(fsm.validate()) << fsm.str();
+  return fsm;
+}
+
+TEST(Scheduler, NoChainPolicyIsIdentity) {
+  auto c = compile("thread t () { int a, b; a = 1; b = 2; }");
+  ThreadFsm fsm = ThreadFsm::synthesize(c->program.threads.at(0), *c->sema);
+  auto stats = schedule(fsm, SchedulePolicy{});
+  EXPECT_EQ(stats.states_before, stats.states_after);
+  EXPECT_EQ(stats.chained_pairs, 0);
+}
+
+TEST(Scheduler, ChainsIndependentAssignments) {
+  ThreadFsm fsm = synth("thread t () { int a, b; a = 1; b = 2; }",
+                        SchedulePolicy{.chain_states = true});
+  // a=1 and b=2 merge: one action + done.
+  EXPECT_EQ(fsm.states().size(), 2u);
+  const FsmState& s = fsm.state(fsm.initial());
+  EXPECT_EQ(s.chained.size(), 1u);
+}
+
+TEST(Scheduler, RawHazardPreventsChaining) {
+  ThreadFsm fsm = synth("thread t () { int a, b; a = 1; b = a; }",
+                        SchedulePolicy{.chain_states = true});
+  // b = a reads what a = 1 writes: must stay 2 cycles.
+  EXPECT_EQ(fsm.states().size(), 3u);
+}
+
+TEST(Scheduler, WawHazardPreventsChaining) {
+  ThreadFsm fsm = synth("thread t () { int a; a = 1; a = 2; }",
+                        SchedulePolicy{.chain_states = true});
+  EXPECT_EQ(fsm.states().size(), 3u);
+}
+
+TEST(Scheduler, DependencyStatesNeverChain) {
+  ThreadFsm fsm = synth(R"(
+    thread t1 () {
+      int x1, q;
+      q = 5;
+      #consumer{m, [t2,y]}
+      x1 = 1;
+    }
+    thread t2 () {
+      int y;
+      #producer{m, [t1,x1]}
+      y = x1;
+    }
+  )",
+                        SchedulePolicy{.chain_states = true});
+  // q=5 cannot merge with the producer write: 2 actions + done.
+  EXPECT_EQ(fsm.states().size(), 3u);
+}
+
+TEST(Scheduler, MemoryPortLimitRespected) {
+  // Three independent array writes: with a 2-access budget, only two fit in
+  // one state.
+  ThreadFsm fsm = synth(R"(
+    thread t () {
+      int u[4], v[4], w[4];
+      u[0] = 1;
+      v[0] = 2;
+      w[0] = 3;
+    }
+  )",
+                        SchedulePolicy{.chain_states = true,
+                                       .max_mem_accesses_per_state = 2});
+  // First two chain, third keeps its own state: 2 actions + done.
+  EXPECT_EQ(fsm.states().size(), 3u);
+}
+
+TEST(Scheduler, ChainAcrossManyStatements) {
+  ThreadFsm fsm = synth(R"(
+    thread t () {
+      int a, b, c, d;
+      a = 1;
+      b = 2;
+      c = 3;
+      d = 4;
+    }
+  )",
+                        SchedulePolicy{.chain_states = true,
+                                       .max_mem_accesses_per_state = 2});
+  // All four are register writes (no memory accesses): one state + done.
+  EXPECT_EQ(fsm.states().size(), 2u);
+  EXPECT_EQ(fsm.state(fsm.initial()).chained.size(), 3u);
+}
+
+TEST(Scheduler, BranchBoundariesPreserved) {
+  ThreadFsm fsm = synth(R"(
+    thread t () {
+      int a, b, x;
+      a = 1;
+      if (x > 0) b = 2;
+      b = 3;
+    }
+  )",
+                        SchedulePolicy{.chain_states = true});
+  // a=1 cannot merge into the branch; branch arms survive.
+  EXPECT_TRUE(fsm.validate());
+  bool has_branch = false;
+  for (const auto& s : fsm.states()) {
+    if (s.kind == StateKind::Branch) has_branch = true;
+  }
+  EXPECT_TRUE(has_branch);
+}
+
+TEST(Scheduler, StatsReflectMerges) {
+  auto c = compile("thread t () { int a, b, d; a = 1; b = 2; d = 4; }");
+  ThreadFsm fsm = ThreadFsm::synthesize(c->program.threads.at(0), *c->sema);
+  auto stats = schedule(fsm, SchedulePolicy{.chain_states = true});
+  EXPECT_EQ(stats.states_before, 4);
+  EXPECT_EQ(stats.states_after, 2);
+  EXPECT_EQ(stats.chained_pairs, 2);
+}
+
+}  // namespace
+}  // namespace hicsync::synth
