@@ -1,0 +1,22 @@
+// A three-stage packet pipeline: rx hands the header to parse, parse hands
+// derived metadata to act. Two dependencies chain produce-after-consume, so
+// the program is hazard-free — `hicc --lint-only examples/pipeline.hic`
+// reports no findings.
+thread rx () {
+  int pkt, hdr;
+  #consumer{m_hdr, [parse,h]}
+  hdr = f(pkt);
+}
+thread parse () {
+  int h, meta;
+  #producer{m_hdr, [rx,hdr]}
+  h = g(hdr);
+  #consumer{m_meta, [act,m]}
+  meta = f2(h);
+}
+thread act () {
+  int m, verdict;
+  #producer{m_meta, [parse,meta]}
+  m = g2(meta);
+  verdict = h2(m);
+}

@@ -20,6 +20,10 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "event-driven") {
     options.organization = sim::OrgKind::EventDriven;
   }
+  // Run the static synchronization-hazard checks (hic-lint) as part of the
+  // compile; findings land in result->diags() with stable check IDs.
+  options.lint.enabled = true;
+  options.source_name = "fig1.hic";
 
   const std::string source = netapp::figure1_source();
   std::printf("--- hic source (Figure 1 of the paper) ---\n%s\n",
@@ -34,6 +38,16 @@ int main(int argc, char** argv) {
   }
 
   std::printf("%s\n", core::render_report(*result).c_str());
+
+  // Lint report (what `hicc --lint` prints; `--diag-format json` renders
+  // the same findings machine-readably for CI).
+  std::printf("--- lint (%zu error(s), %zu warning(s)) ---\n",
+              result->lint_error_count(), result->lint_warning_count());
+  if (result->diags().diagnostics().empty()) {
+    std::printf("no findings: the program is hazard-clean\n\n");
+  } else {
+    std::printf("%s\n", result->diags().str().c_str());
+  }
 
   std::printf("--- generated Verilog (memory organization) ---\n%s\n",
               result->verilog().c_str());

@@ -1,0 +1,24 @@
+// Factories for the built-in lint checks (internal to the lint library;
+// the registry in lint.cpp instantiates them).
+#pragma once
+
+#include <memory>
+
+#include "analysis/lint/lint.h"
+
+namespace hicsync::analysis::lint {
+
+// checks_sync.cpp
+std::unique_ptr<LintPass> make_race_unsynced_access_check();
+std::unique_ptr<LintPass> make_consume_before_produce_check();
+std::unique_ptr<LintPass> make_duplicate_producer_write_check();
+
+// checks_mem.cpp
+std::unique_ptr<LintPass> make_unreachable_stmt_check();
+std::unique_ptr<LintPass> make_dead_shared_variable_check();
+std::unique_ptr<LintPass> make_port_pressure_check();
+
+// checks_pragma.cpp
+std::unique_ptr<LintPass> make_pragma_consumer_order_check();
+
+}  // namespace hicsync::analysis::lint

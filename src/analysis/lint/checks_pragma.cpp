@@ -1,0 +1,98 @@
+// Pragma hygiene: consumer lists that disagree with the event-driven static
+// schedule (duplicate endpoints, inconsistent consumer orders).
+
+#include <string>
+#include <vector>
+
+#include "analysis/lint/checks.h"
+#include "support/strings.h"
+
+namespace hicsync::analysis::lint {
+
+namespace {
+
+class PragmaConsumerOrderCheck final : public LintPass {
+ public:
+  const CheckInfo& info() const override {
+    static const CheckInfo kInfo{
+        "pragma-consumer-order", support::Severity::Warning, Stage::PostSema,
+        "#consumer pragma lists that fight the event-driven static "
+        "schedule: duplicate consumer endpoints or inconsistent consumer "
+        "orders across dependencies"};
+    return kInfo;
+  }
+
+  void run(const LintContext& ctx, const Sink& sink) const override {
+    const std::vector<hic::Dependency>& deps = ctx.sema().dependencies();
+
+    // Duplicate consumer endpoints: the same thread listed twice gets two
+    // schedule slots and two countdown ticks for a single guarded read.
+    for (const hic::Dependency& dep : deps) {
+      std::vector<std::string> seen;
+      for (const hic::DepConsumer& c : dep.consumers) {
+        bool dup = false;
+        for (const std::string& s : seen) {
+          if (s == c.thread) dup = true;
+        }
+        if (dup) {
+          sink(dep.loc,
+               support::format(
+                   "dependency '%s' lists consumer thread '%s' more than "
+                   "once; the static schedule reserves one slot per "
+                   "listing but the thread issues a single guarded read",
+                   dep.id.c_str(), c.thread.c_str()));
+        } else {
+          seen.push_back(c.thread);
+        }
+      }
+    }
+
+    // Inconsistent consumer order across dependencies: the event-driven
+    // organization serves consumers in pragma order, so two dependencies
+    // that order a shared pair of consumers differently force one consumer
+    // to wait through the other's slot on every exchange.
+    for (std::size_t i = 0; i < deps.size(); ++i) {
+      for (std::size_t j = i + 1; j < deps.size(); ++j) {
+        const hic::Dependency& a = deps[i];
+        const hic::Dependency& b = deps[j];
+        bool reported = false;
+        for (std::size_t x = 0; x < a.consumers.size() && !reported; ++x) {
+          for (std::size_t y = x + 1; y < a.consumers.size() && !reported;
+               ++y) {
+            const std::string& first = a.consumers[x].thread;
+            const std::string& second = a.consumers[y].thread;
+            // Positions of the same pair in b, if both are listed there.
+            int bf = -1, bs = -1;
+            for (std::size_t k = 0; k < b.consumers.size(); ++k) {
+              if (b.consumers[k].thread == first && bf < 0) {
+                bf = static_cast<int>(k);
+              }
+              if (b.consumers[k].thread == second && bs < 0) {
+                bs = static_cast<int>(k);
+              }
+            }
+            if (bf < 0 || bs < 0 || bf < bs) continue;
+            sink(b.loc,
+                 support::format(
+                     "dependencies '%s' and '%s' order shared consumers "
+                     "inconsistently ('%s' before '%s' vs the reverse); "
+                     "the event-driven schedule serves consumers in "
+                     "pragma order, so one of them always waits through "
+                     "the other's slot",
+                     a.id.c_str(), b.id.c_str(), first.c_str(),
+                     second.c_str()));
+            reported = true;
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<LintPass> make_pragma_consumer_order_check() {
+  return std::make_unique<PragmaConsumerOrderCheck>();
+}
+
+}  // namespace hicsync::analysis::lint

@@ -73,6 +73,7 @@ std::unique_ptr<CompileResult> Compiler::compile(
   auto result = std::make_unique<CompileResult>();
   CompileResult& r = *result;
   r.options_ = options_;
+  r.diags_.set_source_name(options_.source_name);
 
   // Front end.
   r.program_ = hic::parse_source(source, r.diags_);
@@ -89,6 +90,18 @@ std::unique_ptr<CompileResult> Compiler::compile(
                                                   r.sema_->dependencies());
   r.deadlock_warnings_ = depgraph.deadlock_reports();
 
+  // hic-lint, stage 1: AST/CFG/dependence-level hazard checks.
+  namespace lint = analysis::lint;
+  std::unique_ptr<lint::LintContext> lint_ctx;
+  lint::LintDriver lint_driver(options_.lint, r.diags_);
+  if (options_.lint.enabled) {
+    lint_ctx = std::make_unique<lint::LintContext>(r.program_, *r.sema_);
+    lint::LintDriver::Summary s =
+        lint_driver.run(lint::Stage::PostSema, *lint_ctx);
+    r.lint_errors_ += static_cast<std::size_t>(s.errors);
+    r.lint_warnings_ += static_cast<std::size_t>(s.warnings);
+  }
+
   // Behavioural synthesis + scheduling.
   for (const hic::ThreadDecl& t : r.program_.threads) {
     synth::ThreadFsm fsm = synth::ThreadFsm::synthesize(t, *r.sema_);
@@ -99,6 +112,20 @@ std::unique_ptr<CompileResult> Compiler::compile(
   // Memory allocation and port planning.
   r.map_ = memalloc::Allocator(options_.allocator).allocate(*r.sema_);
   r.plans_ = memalloc::PortPlanner::plan(*r.sema_, r.map_, r.fsms_);
+
+  // hic-lint, stage 2: port-pressure and capacity findings, surfaced here
+  // instead of as failures inside the generators.
+  if (options_.lint.enabled) {
+    lint_ctx->attach_memory(&r.map_, &r.plans_);
+    lint::LintDriver::Summary s =
+        lint_driver.run(lint::Stage::PreGenerate, *lint_ctx);
+    r.lint_errors_ += static_cast<std::size_t>(s.errors);
+    r.lint_warnings_ += static_cast<std::size_t>(s.warnings);
+    if (options_.lint.only) {
+      r.ok_ = true;
+      return result;
+    }
+  }
 
   // Generate one controller per BRAM and map it.
   fpga::TechMapper mapper;

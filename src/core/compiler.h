@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/lint/lint.h"
 #include "fpga/techmap.h"
 #include "fpga/timing.h"
 #include "hic/sema.h"
@@ -31,6 +32,14 @@ struct CompileOptions {
   /// Infer producer/consumer relationships for cross-thread reads that
   /// carry no pragmas (the use-def alternative §2 mentions).
   bool infer_dependencies = false;
+  /// Static synchronization-hazard analysis (hic-lint). When enabled, the
+  /// PostSema checks run between semantic analysis and synthesis and the
+  /// PreGenerate checks run after port planning, before RTL generation;
+  /// `lint.only` stops the flow there (no controllers are generated).
+  analysis::lint::LintOptions lint;
+  /// Name stamped onto diagnostics (and json output); typically the path
+  /// the driver read the source from.
+  std::string source_name;
 };
 
 /// Area/timing report for one generated memory-organization controller.
@@ -74,6 +83,13 @@ class CompileResult {
   [[nodiscard]] const std::vector<std::string>& deadlock_warnings() const {
     return deadlock_warnings_;
   }
+  /// Lint findings reported at (resolved) error/warning severity. Lint
+  /// errors do not flip ok(): the design still generates, but drivers
+  /// should fail CI on them (hicc exits 4).
+  [[nodiscard]] std::size_t lint_error_count() const { return lint_errors_; }
+  [[nodiscard]] std::size_t lint_warning_count() const {
+    return lint_warnings_;
+  }
   [[nodiscard]] const CompileOptions& options() const { return options_; }
 
   /// Generated RTL of every controller, as Verilog-2001 text.
@@ -106,6 +122,8 @@ class CompileResult {
   rtl::Design design_;
   std::vector<BramReport> bram_reports_;
   std::vector<std::string> deadlock_warnings_;
+  std::size_t lint_errors_ = 0;
+  std::size_t lint_warnings_ = 0;
 };
 
 class Compiler {

@@ -4,6 +4,10 @@
 // accumulates them so that a driver can print everything at once and tests
 // can assert on specific diagnostics. Fatal front-end failures also throw
 // CompileError so deep recursion can unwind without sentinel values.
+//
+// Diagnostics may carry a stable check ID (lint findings do); rendering is
+// deterministic regardless of the stage order that produced the entries:
+// str() and json() emit in (file, line, column, severity) order.
 #pragma once
 
 #include <stdexcept>
@@ -22,6 +26,12 @@ struct Diagnostic {
   Severity severity = Severity::Error;
   SourceLoc loc;
   std::string message;
+  /// Stable check identifier (e.g. "race-unsynced-access") for findings
+  /// produced by a registered analysis; empty for plain stage diagnostics.
+  std::string check_id;
+  /// Source file the location refers to; empty when the producer did not
+  /// set a source name on the engine.
+  std::string file;
 
   [[nodiscard]] std::string str() const;
 };
@@ -43,7 +53,8 @@ class CompileError : public std::runtime_error {
 /// Accumulates diagnostics across compiler stages.
 class DiagnosticEngine {
  public:
-  void report(Severity sev, SourceLoc loc, std::string message);
+  void report(Severity sev, SourceLoc loc, std::string message,
+              std::string check_id = {});
   void error(SourceLoc loc, std::string message) {
     report(Severity::Error, loc, std::move(message));
   }
@@ -54,23 +65,46 @@ class DiagnosticEngine {
     report(Severity::Note, loc, std::move(message));
   }
 
+  /// File name stamped onto subsequently reported diagnostics (and into
+  /// json() output). Typically the path the driver read the source from.
+  void set_source_name(std::string name) { source_name_ = std::move(name); }
+  [[nodiscard]] const std::string& source_name() const {
+    return source_name_;
+  }
+
   [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
   [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] std::size_t warning_count() const { return warning_count_; }
   [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
     return diags_;
   }
 
+  /// Diagnostics in deterministic reporting order: sorted stably by
+  /// (file, line, column, severity), errors first among ties.
+  [[nodiscard]] std::vector<const Diagnostic*> sorted_diagnostics() const;
+
   /// True if any diagnostic message contains `needle` (test convenience).
   [[nodiscard]] bool contains(const std::string& needle) const;
+  /// True if any diagnostic carries `check_id`.
+  [[nodiscard]] bool has_check(const std::string& check_id) const;
+  /// Number of diagnostics carrying `check_id`.
+  [[nodiscard]] std::size_t check_count(const std::string& check_id) const;
 
-  /// All diagnostics rendered one per line.
+  /// All diagnostics rendered one per line, in sorted order.
   [[nodiscard]] std::string str() const;
+
+  /// Machine-readable rendering (the CI interface): a JSON object with
+  /// "errors"/"warnings" counts and a "diagnostics" array of
+  /// {check, severity, file, line, column, message}, in sorted order.
+  [[nodiscard]] std::string json() const;
 
   void clear();
 
  private:
   std::vector<Diagnostic> diags_;
+  std::string source_name_;
   std::size_t error_count_ = 0;
+  std::size_t warning_count_ = 0;
 };
 
 }  // namespace hicsync::support

@@ -14,8 +14,22 @@
 //   --target-mhz <f>                timing target for the report
 //   --max-cycles <n>                simulation budget (default 100000)
 //
-// Exit status: 0 on success, 1 on compile error, 2 on usage error,
-// 3 on simulation timeout.
+// Static analysis (hic-lint; see docs/DIAGNOSTICS.md for the check
+// catalogue):
+//   --lint                          run the lint checks alongside compilation
+//   --lint-only                     lint + port planning, skip RTL generation
+//   -W<check>                       promote <check> findings to errors
+//   -Wno-<check>                    disable <check>
+//   --Werror                        every warning-severity finding is an error
+//   --diag-format text|json         diagnostic rendering; json is the CI
+//                                   interface (machine-readable, stdout)
+//
+// Exit status:
+//   0  success
+//   1  compile error (parse/sema/analysis reported errors)
+//   2  usage error (bad flags, unreadable input, unknown lint check)
+//   3  simulation did not converge within the cycle budget
+//   4  lint findings at error severity (including -W/--Werror promotions)
 
 #include <cstdio>
 #include <cstdlib>
@@ -45,8 +59,22 @@ void usage(const char* argv0) {
                "  --infer\n"
                "  --dump-fsm\n"
                "  --target-mhz <f>\n"
-               "  --max-cycles <n>\n",
+               "  --max-cycles <n>\n"
+               "  --lint | --lint-only\n"
+               "  -W<check> | -Wno-<check> | --Werror\n"
+               "  --diag-format text|json\n"
+               "exit codes: 0 ok, 1 compile error, 2 usage, 3 sim timeout, "
+               "4 lint errors\n",
                argv0);
+}
+
+void list_checks() {
+  std::fprintf(stderr, "known lint checks:\n");
+  for (const auto& info :
+       analysis::lint::LintRegistry::builtin().check_infos()) {
+    std::fprintf(stderr, "  %-24s %s (default %s)\n", info.id,
+                 info.description, support::to_string(info.default_severity));
+  }
 }
 
 }  // namespace
@@ -57,9 +85,15 @@ int main(int argc, char** argv) {
   std::string verilog_out;
   std::string testbench_out;
   bool report = true;
+  bool report_explicit = false;
   bool dump_fsm = false;
+  bool json_diags = false;
   int simulate_passes = 0;
   std::uint64_t max_cycles = 100000;
+
+  auto known_check = [](const std::string& id) {
+    return analysis::lint::LintRegistry::builtin().find(id) != nullptr;
+  };
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -86,8 +120,10 @@ int main(int argc, char** argv) {
       testbench_out = next();
     } else if (arg == "--report") {
       report = true;
+      report_explicit = true;
     } else if (arg == "--no-report") {
       report = false;
+      report_explicit = true;
     } else if (arg == "--simulate") {
       simulate_passes = std::atoi(next());
     } else if (arg == "--chain") {
@@ -102,6 +138,52 @@ int main(int argc, char** argv) {
       options.target_clock_mhz = std::atof(next());
     } else if (arg == "--max-cycles") {
       max_cycles = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--lint") {
+      options.lint.enabled = true;
+    } else if (arg == "--lint-only") {
+      options.lint.enabled = true;
+      options.lint.only = true;
+    } else if (arg == "--Werror") {
+      options.lint.enabled = true;
+      options.lint.werror = true;
+    } else if (arg.rfind("-Wno-", 0) == 0) {
+      std::string id = arg.substr(5);
+      if (!known_check(id)) {
+        std::fprintf(stderr, "unknown lint check '%s'\n", id.c_str());
+        list_checks();
+        return 2;
+      }
+      options.lint.enabled = true;
+      options.lint.disabled.push_back(id);
+    } else if (arg.rfind("-W", 0) == 0 && arg.size() > 2 && arg[2] != '-') {
+      std::string id = arg.substr(2);
+      if (!known_check(id)) {
+        std::fprintf(stderr, "unknown lint check '%s'\n", id.c_str());
+        list_checks();
+        return 2;
+      }
+      options.lint.enabled = true;
+      options.lint.as_error.push_back(id);
+    } else if (arg == "--diag-format") {
+      std::string fmt = next();
+      if (fmt == "json") {
+        json_diags = true;
+      } else if (fmt == "text") {
+        json_diags = false;
+      } else {
+        std::fprintf(stderr, "unknown diagnostic format '%s'\n", fmt.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--diag-format=", 0) == 0) {
+      std::string fmt = arg.substr(std::strlen("--diag-format="));
+      if (fmt == "json") {
+        json_diags = true;
+      } else if (fmt == "text") {
+        json_diags = false;
+      } else {
+        std::fprintf(stderr, "unknown diagnostic format '%s'\n", fmt.c_str());
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -120,12 +202,15 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 2;
   }
+  // Lint-only runs are report-less by default: the findings are the output.
+  if (options.lint.only && !report_explicit) report = false;
 
   std::string source;
   if (input == "-") {
     std::ostringstream ss;
     ss << std::cin.rdbuf();
     source = ss.str();
+    options.source_name = "<stdin>";
   } else {
     std::ifstream in(input);
     if (!in) {
@@ -135,18 +220,21 @@ int main(int argc, char** argv) {
     std::ostringstream ss;
     ss << in.rdbuf();
     source = ss.str();
+    options.source_name = input;
   }
 
   core::Compiler compiler(options);
   auto result = compiler.compile(source);
-  if (!result->ok()) {
+
+  // All diagnostics at once, in deterministic (file, line, col, severity)
+  // order. JSON goes to stdout — it is the machine interface — while the
+  // human-readable rendering stays on stderr.
+  if (json_diags) {
+    std::printf("%s", result->diags().json().c_str());
+  } else if (!result->diags().diagnostics().empty()) {
     std::fprintf(stderr, "%s", result->diags().str().c_str());
-    return 1;
   }
-  // Non-fatal diagnostics (warnings) still print.
-  for (const auto& d : result->diags().diagnostics()) {
-    std::fprintf(stderr, "%s\n", d.str().c_str());
-  }
+  if (!result->ok()) return 1;
 
   if (report) {
     std::printf("%s", core::render_report(*result).c_str());
@@ -157,6 +245,9 @@ int main(int argc, char** argv) {
       std::printf("%s\n", fsm.str().c_str());
     }
   }
+
+  if (result->lint_error_count() > 0) return 4;
+  if (options.lint.only) return 0;
 
   if (!verilog_out.empty()) {
     std::ofstream out(verilog_out);

@@ -1,0 +1,17 @@
+// Seeded hazard: t1 consumes m1 before producing m2 while t2 consumes m2
+// before producing m1 — a statement-level deadlock on every path.
+// Expected: exactly one consume-before-produce error with a path witness.
+thread t1 () {
+  int a, b;
+  #producer{m1, [t2,p]}
+  a = f(p);
+  #consumer{m2, [t2,q]}
+  b = g(a);
+}
+thread t2 () {
+  int p, q;
+  #producer{m2, [t1,b]}
+  q = f(b);
+  #consumer{m1, [t1,a]}
+  p = g(q);
+}

@@ -1,0 +1,13 @@
+// Seeded hazard: t2 is listed as the consumer of mt1 but its consuming
+// statement never reads the produced variable t1.x1.
+// Expected: exactly one dead-shared-variable warning.
+thread t1 () {
+  int x1, xa;
+  #consumer{mt1, [t2,y1]}
+  x1 = f(xa);
+}
+thread t2 () {
+  int y1, y2;
+  #producer{mt1, [t1,x1]}
+  y1 = g(y2);
+}

@@ -1,0 +1,17 @@
+// Seeded hazard: the else-branch write to x1 is not the producing statement
+// of dependency mt1, so it can clobber the produced value (write-after-write).
+// Expected: exactly one duplicate-producer-write warning.
+thread t1 () {
+  int x1, c;
+  if (c) {
+    #consumer{mt1, [t2,y1]}
+    x1 = f(c);
+  } else {
+    x1 = g(c);
+  }
+}
+thread t2 () {
+  int y1;
+  #producer{mt1, [t1,x1]}
+  y1 = g(x1);
+}

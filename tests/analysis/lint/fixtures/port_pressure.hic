@@ -1,0 +1,53 @@
+// Seeded hazard: dependency m fans out to 9 consumer threads, one past the
+// arbitration range of 8 consumer pseudo-ports evaluated in the paper.
+// Expected: exactly one port-pressure warning.
+thread rx () {
+  int d, s;
+  #consumer{m, [c0,v0], [c1,v1], [c2,v2], [c3,v3], [c4,v4], [c5,v5], [c6,v6], [c7,v7], [c8,v8]}
+  d = f(s);
+}
+thread c0 () {
+  int v0;
+  #producer{m, [rx,d]}
+  v0 = g(d);
+}
+thread c1 () {
+  int v1;
+  #producer{m, [rx,d]}
+  v1 = g(d);
+}
+thread c2 () {
+  int v2;
+  #producer{m, [rx,d]}
+  v2 = g(d);
+}
+thread c3 () {
+  int v3;
+  #producer{m, [rx,d]}
+  v3 = g(d);
+}
+thread c4 () {
+  int v4;
+  #producer{m, [rx,d]}
+  v4 = g(d);
+}
+thread c5 () {
+  int v5;
+  #producer{m, [rx,d]}
+  v5 = g(d);
+}
+thread c6 () {
+  int v6;
+  #producer{m, [rx,d]}
+  v6 = g(d);
+}
+thread c7 () {
+  int v7;
+  #producer{m, [rx,d]}
+  v7 = g(d);
+}
+thread c8 () {
+  int v8;
+  #producer{m, [rx,d]}
+  v8 = g(d);
+}

@@ -1,0 +1,24 @@
+// Seeded hazard: m1 lists consumers as [t2, t3] but m2 lists [t3, t2]; the
+// event-driven static schedule serves consumers in pragma order.
+// Expected: exactly one pragma-consumer-order warning.
+thread t1 () {
+  int x1, x2, s;
+  #consumer{m1, [t2,a2], [t3,a3]}
+  x1 = f(s);
+  #consumer{m2, [t3,b3], [t2,b2]}
+  x2 = g(s);
+}
+thread t2 () {
+  int a2, b2;
+  #producer{m1, [t1,x1]}
+  a2 = g(x1);
+  #producer{m2, [t1,x2]}
+  b2 = g(x2);
+}
+thread t3 () {
+  int a3, b3;
+  #producer{m1, [t1,x1]}
+  a3 = g(x1);
+  #producer{m2, [t1,x2]}
+  b3 = g(x2);
+}

@@ -1,0 +1,15 @@
+// Seeded hazard: t2's second read of t1.x1 repeats the #producer pragma but
+// sema binds only the first site, so the second read is unsynchronized.
+// Expected: exactly one race-unsynced-access error.
+thread t1 () {
+  int x1, xa, xb;
+  #consumer{mt1, [t2,y1]}
+  x1 = f(xa, xb);
+}
+thread t2 () {
+  int y1, y2;
+  #producer{mt1, [t1,x1]}
+  y1 = g(x1);
+  #producer{mt1, [t1,x1]}
+  y2 = g(x1);
+}

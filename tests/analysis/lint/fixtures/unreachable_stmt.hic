@@ -1,0 +1,10 @@
+// Seeded hazard: the statement after 'break' can never execute.
+// Expected: exactly one unreachable-stmt warning.
+thread t1 () {
+  int n, i;
+  while (n) {
+    n = f(n);
+    break;
+    i = g(i);
+  }
+}

@@ -1,0 +1,41 @@
+// The generated benchmark programs (Figure 1, the fan-out sweep, the IP
+// forwarding application) must stay hazard-clean under hic-lint: every
+// check enabled, no error-severity finding.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "netapp/scenarios.h"
+
+namespace hicsync {
+namespace {
+
+void expect_lints_clean(const std::string& source, const std::string& name) {
+  core::CompileOptions options;
+  options.lint.enabled = true;
+  options.source_name = name;
+  core::Compiler compiler(options);
+  auto result = compiler.compile(source);
+  ASSERT_TRUE(result->ok()) << name << ":\n" << result->diags().str();
+  EXPECT_EQ(result->lint_error_count(), 0u)
+      << name << ":\n" << result->diags().str();
+}
+
+TEST(LintScenarios, Figure1IsClean) {
+  expect_lints_clean(netapp::figure1_source(), "figure1");
+}
+
+TEST(LintScenarios, FanoutSweepIsClean) {
+  for (int consumers : {1, 2, 4, 8}) {
+    expect_lints_clean(netapp::fanout_source(consumers),
+                       "fanout_" + std::to_string(consumers));
+  }
+}
+
+TEST(LintScenarios, IpForwardingIsClean) {
+  expect_lints_clean(netapp::ip_forwarding_source(), "ip_forwarding");
+}
+
+}  // namespace
+}  // namespace hicsync

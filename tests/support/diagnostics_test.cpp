@@ -44,6 +44,81 @@ TEST(Diagnostics, ClearResets) {
   EXPECT_TRUE(d.diagnostics().empty());
 }
 
+TEST(Diagnostics, WarningCountTracksWarningsOnly) {
+  DiagnosticEngine d;
+  EXPECT_EQ(d.warning_count(), 0u);
+  d.warning({1, 1, 0}, "w1");
+  d.error({2, 1, 5}, "e");
+  d.note({3, 1, 9}, "n");
+  d.warning({4, 1, 12}, "w2");
+  EXPECT_EQ(d.warning_count(), 2u);
+  EXPECT_EQ(d.error_count(), 1u);
+  d.clear();
+  EXPECT_EQ(d.warning_count(), 0u);
+}
+
+TEST(Diagnostics, SortedByFileLineColumnSeverity) {
+  DiagnosticEngine d;
+  d.set_source_name("b.hic");
+  d.warning({9, 1, 0}, "later file");
+  d.set_source_name("a.hic");
+  d.warning({5, 3, 0}, "warn at 5:3");
+  d.error({5, 3, 0}, "error at 5:3");  // ties on location: errors first
+  d.note({2, 1, 0}, "earliest line");
+  auto sorted = d.sorted_diagnostics();
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0]->message, "earliest line");
+  EXPECT_EQ(sorted[1]->message, "error at 5:3");
+  EXPECT_EQ(sorted[2]->message, "warn at 5:3");
+  EXPECT_EQ(sorted[3]->message, "later file");
+}
+
+TEST(Diagnostics, SortIsStableForIdenticalKeys) {
+  DiagnosticEngine d;
+  d.warning({1, 1, 0}, "first reported");
+  d.warning({1, 1, 0}, "second reported");
+  auto sorted = d.sorted_diagnostics();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0]->message, "first reported");
+  EXPECT_EQ(sorted[1]->message, "second reported");
+}
+
+TEST(Diagnostics, CheckIdIsRenderedAndCounted) {
+  DiagnosticEngine d;
+  d.set_source_name("prog.hic");
+  d.report(Severity::Warning, {7, 2, 0}, "hazard", "race-unsynced-access");
+  EXPECT_TRUE(d.has_check("race-unsynced-access"));
+  EXPECT_FALSE(d.has_check("port-pressure"));
+  EXPECT_EQ(d.check_count("race-unsynced-access"), 1u);
+  EXPECT_NE(d.str().find("prog.hic:7:2: warning: hazard "
+                         "[race-unsynced-access]"),
+            std::string::npos)
+      << d.str();
+}
+
+TEST(Diagnostics, JsonShapeAndEscaping) {
+  DiagnosticEngine d;
+  d.set_source_name("p.hic");
+  d.report(Severity::Error, {1, 2, 0}, "bad \"quote\"\n", "check-a");
+  d.warning({3, 4, 9}, "plain");
+  const std::string json = d.json();
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"warnings\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"check\": \"check-a\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"file\": \"p.hic\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"column\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("bad \\\"quote\\\"\\n"), std::string::npos) << json;
+}
+
+TEST(Diagnostics, JsonEmptyEngine) {
+  DiagnosticEngine d;
+  const std::string json = d.json();
+  EXPECT_NE(json.find("\"errors\": 0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"diagnostics\": []"), std::string::npos) << json;
+}
+
 TEST(Diagnostics, CompileErrorCarriesLocation) {
   CompileError err({4, 2, 9}, "bad parse");
   EXPECT_EQ(err.loc().line, 4u);
