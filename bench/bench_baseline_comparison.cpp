@@ -32,6 +32,18 @@ int main() {
                             "mean latency", "bus ops/round", "enforced?",
                             "correct"});
   bool all_ok = true;
+  bench::JsonBenchReport report("baseline_comparison");
+  auto record = [&](const char* key, int consumers,
+                    const fpga::MapResult& area,
+                    const baseline::HandoffMetrics& metrics) {
+    const std::string p = "c" + std::to_string(consumers) + "." + key + ".";
+    report.set(p + "luts", area.luts);
+    report.set(p + "slices", area.slices);
+    report.set(p + "mean_latency", metrics.mean_latency());
+    report.set(p + "bus_ops_per_round",
+               static_cast<double>(metrics.bus_grants) / rounds);
+    report.set(p + "ok", metrics.ok);
+  };
 
   for (int consumers : {2, 4, 8}) {
     {
@@ -46,6 +58,7 @@ int main() {
       std::snprintf(mean, sizeof mean, "%.1f", metrics.mean_latency());
       std::snprintf(ops, sizeof ops, "%.1f",
                     static_cast<double>(metrics.bus_grants) / rounds);
+      record("polling", consumers, area, metrics);
       table.add_row({"manual polling (bare)", std::to_string(consumers),
                      std::to_string(area.luts), std::to_string(area.ffs),
                      std::to_string(area.slices), mean, ops, "no",
@@ -64,6 +77,7 @@ int main() {
       std::snprintf(mean, sizeof mean, "%.1f", metrics.mean_latency());
       std::snprintf(ops, sizeof ops, "%.1f",
                     static_cast<double>(metrics.bus_grants) / rounds);
+      record("lockmem", consumers, area, metrics);
       table.add_row({"locks (lockmem)", std::to_string(consumers),
                      std::to_string(area.luts), std::to_string(area.ffs),
                      std::to_string(area.slices), mean, ops, "no",
@@ -80,6 +94,7 @@ int main() {
       std::snprintf(mean, sizeof mean, "%.1f", metrics.mean_latency());
       std::snprintf(ops, sizeof ops, "%.1f",
                     static_cast<double>(metrics.bus_grants) / rounds);
+      record("arbitrated", consumers, area, metrics);
       table.add_row({"arbitrated (§3.1)", std::to_string(consumers),
                      std::to_string(area.luts), std::to_string(area.ffs),
                      std::to_string(area.slices), mean, ops, "yes",
@@ -96,6 +111,7 @@ int main() {
       std::snprintf(mean, sizeof mean, "%.1f", metrics.mean_latency());
       std::snprintf(ops, sizeof ops, "%.1f",
                     static_cast<double>(metrics.bus_grants) / rounds);
+      record("eventdriven", consumers, area, metrics);
       table.add_row({"event-driven (§3.2)", std::to_string(consumers),
                      std::to_string(area.luts), std::to_string(area.ffs),
                      std::to_string(area.slices), mean, ops, "yes",
@@ -109,5 +125,7 @@ int main() {
       "1 write + N reads of\nbus traffic, while polling/locks burn extra "
       "flag reads, lock round-trips and\nack updates - and enforce "
       "nothing (the 'error-prone' cost of §1).\n");
+  report.set("all_ok", all_ok);
+  report.write();
   return all_ok ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_util.h"
 #include "core/compiler.h"
 #include "fpga/techmap.h"
 #include "hic/parser.h"
@@ -76,4 +77,4 @@ static void BM_EmitVerilog(benchmark::State& state) {
 }
 BENCHMARK(BM_EmitVerilog);
 
-BENCHMARK_MAIN();
+HICSYNC_BENCHMARK_MAIN("compile")

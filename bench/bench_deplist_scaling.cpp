@@ -47,6 +47,7 @@ int main() {
                             "CAM Fmax(MHz)", "scan LUT", "scan slices",
                             "scan Fmax(MHz)", "scan extra cycles"});
   fpga::TechMapper mapper;
+  bench::JsonBenchReport report("deplist_scaling");
   bool cam_grows = true;
   int prev_cam = 0;
   for (int entries : {1, 2, 4, 8, 16, 32, 64}) {
@@ -67,6 +68,13 @@ int main() {
                    sfx, "<= " + std::to_string(entries)});
     cam_grows &= cam.luts >= prev_cam;
     prev_cam = cam.luts;
+    const std::string prefix = "entries" + std::to_string(entries) + ".";
+    report.set(prefix + "cam_luts", cam.luts);
+    report.set(prefix + "cam_slices", cam.slices);
+    report.set(prefix + "cam_fmax_mhz", cam_t.fmax_mhz);
+    report.set(prefix + "scan_luts", scan.luts);
+    report.set(prefix + "scan_slices", scan.slices);
+    report.set(prefix + "scan_fmax_mhz", scan_t.fmax_mhz);
   }
   std::printf("%s\n", table.str().c_str());
   std::printf(
@@ -76,5 +84,7 @@ int main() {
       "tree outgrows the arbiter cone;\nthe cost of scaling is area first, "
       "then lookup latency if one switches to the\nscan - the trade behind "
       "the scaling question §6 leaves open.\n");
+  report.set("cam_lut_monotonic", cam_grows);
+  report.write();
   return cam_grows ? 0 : 1;
 }

@@ -1,0 +1,43 @@
+// Shared main for the google-benchmark binaries: identical to
+// BENCHMARK_MAIN() except that, unless the caller passed --benchmark_out
+// themselves, results are also written to `BENCH_<name>.json` (google
+// benchmark's JSON reporter) — the same machine-readable convention the
+// table benches follow via JsonBenchReport.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+namespace hicsync::bench {
+
+inline int run_gbench_with_json(int argc, char** argv,
+                                const std::string& name) {
+  std::vector<std::string> args(argv, argv + argc);
+  bool has_out = false;
+  for (const std::string& a : args) {
+    if (a.rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back("--benchmark_out=BENCH_" + name + ".json");
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(args.size());
+  for (std::string& a : args) cargs.push_back(a.data());
+  int c = static_cast<int>(cargs.size());
+  benchmark::Initialize(&c, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(c, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace hicsync::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that adds the JSON result file.
+#define HICSYNC_BENCHMARK_MAIN(name)                           \
+  int main(int argc, char** argv) {                            \
+    return hicsync::bench::run_gbench_with_json(argc, argv, name); \
+  }

@@ -160,5 +160,11 @@ int main() {
               "probabilistic\ntraffic (bus-style arbitration), event-driven "
               "is fixed once consumers are\nready: %s\n",
               ok ? "reproduced" : "FAILED");
+  bench::JsonBenchReport report("latency_determinism");
+  report.set("rounds", rounds);
+  report.set("handoff_correct", ok);
+  report.set("arbitrated_latency_varies", varies["arbitrated"]);
+  report.set("eventdriven_latency_varies", varies["event-driven"]);
+  report.write();
   return ok ? 0 : 1;
 }

@@ -75,5 +75,16 @@ int main() {
   std::printf("per-BRAM overhead must be budgeted a priori in design "
               "partitioning (the paper's conclusion): %s\n",
               in_band_any ? "confirmed in band" : "outside the paper band");
+  bench::JsonBenchReport report("overhead_vs_core");
+  report.set("core_luts", core.luts);
+  report.set("core_ffs", core.ffs);
+  report.set("core_slices", core.slices);
+  report.set("paper_core_slices", bench::PaperReference::kCoreSlices);
+  report.set("overhead_pct_vs_paper_core_min", lo);
+  report.set("overhead_pct_vs_paper_core_max", hi);
+  report.set("paper_band_low_pct", bench::PaperReference::kOverheadLowPct);
+  report.set("paper_band_high_pct", bench::PaperReference::kOverheadHighPct);
+  report.set("in_paper_band", in_band_any);
+  report.write();
   return 0;
 }

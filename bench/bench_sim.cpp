@@ -1,11 +1,22 @@
 // Simulator micro-benchmarks (google-benchmark): cycle throughput of the
 // system simulator (thread FSM interpreters over the generated controller
 // netlists). Engineering data, not a paper experiment.
+//
+// The main additionally asserts hic-trace's zero-cost-when-off claim: a
+// simulation with no trace bus and one with an empty bus attached (both
+// take the branch-only fast path) must run within 2% of each other.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "bench_gbench_util.h"
+#include "bench_util.h"
 #include "core/compiler.h"
 #include "netapp/scenarios.h"
+#include "trace/bus.h"
 
 using namespace hicsync;
 
@@ -56,4 +67,67 @@ static void BM_EndToEndHandoff(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndHandoff);
 
-BENCHMARK_MAIN();
+static void BM_SystemSimCyclesEmptyTraceBus(benchmark::State& state) {
+  auto result = core::Compiler().compile(netapp::fanout_source(4));
+  auto simulator = result->make_simulator();
+  trace::TraceBus bus;  // no sinks: active() is false, branch-only path
+  simulator->set_trace(&bus);
+  for (auto _ : state) {
+    simulator->step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SystemSimCyclesEmptyTraceBus);
+
+namespace {
+
+double seconds_for_steps(sim::SystemSim& simulator, int steps) {
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < steps; ++i) simulator.step();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Asserts the acceptance criterion "tracing disabled costs no measurable
+// slowdown": min-of-N wall time of untraced vs empty-bus runs, < 2% apart.
+int check_tracing_disabled_overhead() {
+  auto result = core::Compiler().compile(netapp::fanout_source(4));
+  constexpr int kSteps = 20000;
+  constexpr int kReps = 9;
+  double best_off = 1e100;
+  double best_on = 1e100;
+  for (int r = 0; r < kReps; ++r) {
+    {
+      auto simulator = result->make_simulator();
+      best_off = std::min(best_off, seconds_for_steps(*simulator, kSteps));
+    }
+    {
+      auto simulator = result->make_simulator();
+      trace::TraceBus bus;
+      simulator->set_trace(&bus);
+      best_on = std::min(best_on, seconds_for_steps(*simulator, kSteps));
+    }
+  }
+  const double overhead_pct = 100.0 * (best_on - best_off) / best_off;
+  const bool pass = overhead_pct < 2.0;
+  std::printf("tracing-disabled overhead: untraced %.1f ns/cycle, "
+              "empty bus %.1f ns/cycle, overhead %+.2f%% (limit 2%%): %s\n",
+              best_off / kSteps * 1e9, best_on / kSteps * 1e9, overhead_pct,
+              pass ? "PASS" : "FAIL");
+  bench::JsonBenchReport report("sim_trace_overhead");
+  report.set("untraced_ns_per_cycle", best_off / kSteps * 1e9);
+  report.set("empty_bus_ns_per_cycle", best_on / kSteps * 1e9);
+  report.set("overhead_pct", overhead_pct);
+  report.set("limit_pct", 2.0);
+  report.set("pass", pass);
+  report.write();
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int gbench = bench::run_gbench_with_json(argc, argv, "sim");
+  if (gbench != 0) return gbench;
+  return check_tracing_disabled_overhead();
+}

@@ -25,6 +25,7 @@ int main() {
 
   support::TextTable table({"P/C", "LUT", "FF", "Slices", "BRAM"});
   fpga::TechMapper mapper;
+  bench::JsonBenchReport report("table1_arbitrated_area");
   int prev_lut = 0;
   int first_ff = -1;
   bool shape_ok = true;
@@ -36,6 +37,11 @@ int main() {
     table.add_row({"1/" + std::to_string(consumers),
                    std::to_string(r.luts), std::to_string(r.ffs),
                    std::to_string(r.slices), std::to_string(r.bram_blocks)});
+    const std::string prefix = "c" + std::to_string(consumers) + ".";
+    report.set(prefix + "luts", r.luts);
+    report.set(prefix + "ffs", r.ffs);
+    report.set(prefix + "slices", r.slices);
+    report.set(prefix + "bram_blocks", r.bram_blocks);
     if (first_ff < 0) first_ff = r.ffs;
     shape_ok &= (r.ffs == first_ff);
     shape_ok &= (r.luts > prev_lut);
@@ -50,5 +56,8 @@ int main() {
               bench::PaperReference::kArbitratedBaselineFf);
   std::printf("  LUT monotonically increasing with consumers: %s\n",
               shape_ok ? "yes" : "NO");
+  report.set("paper_baseline_ff", bench::PaperReference::kArbitratedBaselineFf);
+  report.set("shape_ok", shape_ok);
+  report.write();
   return shape_ok ? 0 : 1;
 }

@@ -21,6 +21,7 @@ int main() {
 
   support::TextTable table({"P/C", "LUT", "FF", "Slices", "BRAM"});
   fpga::TechMapper mapper;
+  bench::JsonBenchReport report("table2_eventdriven_area");
   int prev_lut = 0;
   int first_ff = -1;
   bool shape_ok = true;
@@ -32,6 +33,11 @@ int main() {
     table.add_row({"1/" + std::to_string(consumers),
                    std::to_string(r.luts), std::to_string(r.ffs),
                    std::to_string(r.slices), std::to_string(r.bram_blocks)});
+    const std::string prefix = "c" + std::to_string(consumers) + ".";
+    report.set(prefix + "luts", r.luts);
+    report.set(prefix + "ffs", r.ffs);
+    report.set(prefix + "slices", r.slices);
+    report.set(prefix + "bram_blocks", r.bram_blocks);
     if (first_ff < 0) first_ff = r.ffs;
     shape_ok &= (r.ffs == first_ff);
     shape_ok &= (r.luts > prev_lut);
@@ -57,5 +63,8 @@ int main() {
               shape_ok ? "yes" : "NO");
   std::printf("  event-driven leaner than arbitrated at every point: %s\n",
               leaner ? "yes" : "NO");
+  report.set("shape_ok", shape_ok);
+  report.set("leaner_than_arbitrated", leaner);
+  report.write();
   return (shape_ok && leaner) ? 0 : 1;
 }

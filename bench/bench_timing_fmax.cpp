@@ -82,5 +82,16 @@ int main() {
               "measured arb %.2fx / ev %.2fx\n",
               paper_arb[0] / paper_arb[2], paper_ev[0] / paper_ev[2],
               arb_fmax[0] / arb_fmax[2], ev_fmax[0] / ev_fmax[2]);
+  bench::JsonBenchReport report("timing_fmax");
+  for (int i = 0; i < 3; ++i) {
+    const std::string c = "c" + std::to_string(counts[i]) + ".";
+    report.set(c + "arbitrated_fmax_mhz", arb_fmax[i]);
+    report.set(c + "eventdriven_fmax_mhz", ev_fmax[i]);
+    report.set(c + "paper_arbitrated_mhz", paper_arb[i]);
+    report.set(c + "paper_eventdriven_mhz", paper_ev[i]);
+  }
+  report.set("fmax_decreasing_with_consumers", decreasing);
+  report.set("eventdriven_faster_everywhere", ev_faster);
+  report.write();
   return (decreasing && ev_faster) ? 0 : 1;
 }

@@ -1,13 +1,94 @@
 // Shared helpers for the benchmark harness: the paper's reference values
-// (where the scraped text preserved them) and scenario construction.
+// (where the scraped text preserved them) and scenario construction, plus
+// the machine-readable result file every bench emits.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "memorg/arbitrated.h"
 #include "memorg/eventdriven.h"
 
 namespace hicsync::bench {
+
+/// Flat key→value result file: `BENCH_<name>.json` in the working
+/// directory, one object, insertion-ordered keys. The human-readable table
+/// stays on stdout; this is the CI/plotting interface.
+class JsonBenchReport {
+ public:
+  explicit JsonBenchReport(std::string name) : name_(std::move(name)) {}
+
+  void set(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + escape(value) + "\"");
+  }
+  void set(const std::string& key, const char* value) {
+    set(key, std::string(value));
+  }
+  void set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.4f", value);
+    entries_.emplace_back(key, buf);
+  }
+  void set(const std::string& key, std::int64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void set(const std::string& key, std::uint64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void set(const std::string& key, int value) {
+    set(key, static_cast<std::int64_t>(value));
+  }
+  void set(const std::string& key, bool value) {
+    entries_.emplace_back(key, value ? "true" : "false");
+  }
+
+  [[nodiscard]] std::string path() const {
+    return "BENCH_" + name_ + ".json";
+  }
+
+  /// Serializes and writes the report; returns false if the file could not
+  /// be opened.
+  bool write() const {
+    std::ofstream out(path());
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path().c_str());
+      return false;
+    }
+    out << str();
+    std::printf("wrote %s\n", path().c_str());
+    return true;
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::string s = "{\n  \"bench\": \"" + escape(name_) + "\"";
+    for (const auto& [key, value] : entries_) {
+      s += ",\n  \"" + escape(key) + "\": " + value;
+    }
+    s += "\n}\n";
+    return s;
+  }
+
+ private:
+  static std::string escape(const std::string& in) {
+    std::string out;
+    for (char c : in) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 /// §4 reference values that survive in the paper's prose. The numeric cells
 /// of Tables 1 and 2 were lost in the text scrape (see DESIGN.md); these

@@ -1,0 +1,61 @@
+#include "core/tracerun.h"
+
+#include <memory>
+
+#include "support/strings.h"
+#include "trace/bus.h"
+#include "trace/chrome.h"
+#include "trace/metrics.h"
+#include "trace/vcd.h"
+
+namespace hicsync::core {
+
+TraceRunResult run_traced(const CompileResult& result,
+                          const TraceRunOptions& options) {
+  TraceRunResult out;
+
+  trace::TraceBus bus;
+  std::unique_ptr<trace::MetricsSink> metrics;
+  std::unique_ptr<trace::VcdSink> vcd;
+  std::unique_ptr<trace::ChromeTraceSink> chrome;
+  if (options.sinks.metrics) {
+    metrics = std::make_unique<trace::MetricsSink>();
+    bus.attach(metrics.get());
+  }
+  if (options.sinks.vcd) {
+    vcd = std::make_unique<trace::VcdSink>();
+    bus.attach(vcd.get());
+  }
+  if (options.sinks.chrome) {
+    chrome = std::make_unique<trace::ChromeTraceSink>();
+    bus.attach(chrome.get());
+  }
+
+  auto simulator = result.make_simulator();
+  simulator->set_trace(&bus);
+  out.converged = simulator->run_until_passes(options.passes,
+                                              options.max_cycles);
+  out.cycles = simulator->cycle();
+  bus.finish(out.cycles);
+
+  if (metrics != nullptr) {
+    out.metrics_text = metrics->report_text();
+    out.metrics_json = metrics->report_json();
+  }
+  if (vcd != nullptr) out.vcd = vcd->str();
+  if (chrome != nullptr) out.chrome_json = chrome->str();
+  out.stall_report = simulator->stall_report();
+
+  for (const sim::DepRound& round : simulator->rounds()) {
+    out.rounds_text += support::format(
+        "  %s: produce@%llu, %zu consumer read(s), completion latency "
+        "%llu\n",
+        round.dep_id.c_str(),
+        static_cast<unsigned long long>(round.produce_grant_cycle),
+        round.consume_cycles.size(),
+        static_cast<unsigned long long>(round.completion_latency()));
+  }
+  return out;
+}
+
+}  // namespace hicsync::core

@@ -1,0 +1,44 @@
+// Traced simulation driver: compiles-and-runs is the caller's job; this
+// takes a finished CompileResult, attaches the requested hic-trace sinks,
+// runs the cycle-accurate simulation and hands back every rendered
+// artifact. hicc's `--trace=` flag is a thin wrapper over this, and tests
+// use it to get metrics/VCD/chrome output without re-implementing the
+// sink plumbing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/compiler.h"
+#include "trace/options.h"
+
+namespace hicsync::core {
+
+struct TraceRunOptions {
+  trace::TraceOptions sinks;
+  int passes = 1;
+  std::uint64_t max_cycles = 100000;
+};
+
+/// Everything a traced run produces. Artifact strings are only filled for
+/// the sinks enabled in TraceRunOptions::sinks.
+struct TraceRunResult {
+  bool converged = false;
+  std::uint64_t cycles = 0;
+  std::string metrics_text;   // sinks.metrics
+  std::string metrics_json;   // sinks.metrics
+  std::string vcd;            // sinks.vcd
+  std::string chrome_json;    // sinks.chrome
+  /// Per-thread diagnostics; most useful when !converged (who is stuck
+  /// waiting on what), but always filled.
+  std::string stall_report;
+  /// The same produce→consume round summary `hicc --simulate` prints.
+  std::string rounds_text;
+};
+
+/// Runs `result`'s program for `passes` passes with the requested trace
+/// sinks attached. `result.ok()` must be true.
+[[nodiscard]] TraceRunResult run_traced(const CompileResult& result,
+                                        const TraceRunOptions& options);
+
+}  // namespace hicsync::core

@@ -1,0 +1,50 @@
+#include "memorg/probe.h"
+
+namespace hicsync::memorg {
+
+void ControllerProbe::sample(const rtl::ModuleSim& sim, std::uint64_t cycle,
+                             trace::TraceBus& bus) {
+  trace::Event e;
+  e.cycle = cycle;
+  e.controller = config_.controller;
+  e.kind = trace::EventKind::ArbWin;
+
+  for (int i = 0; i < config_.num_consumers; ++i) {
+    // Arbitrated controllers grant reads explicitly; the event-driven
+    // schedule accepts a read when the consumer's slot is selected
+    // (ev_c<i>) while its request is up.
+    const std::string idx = std::to_string(i);
+    const bool won = config_.event_driven
+                         ? sim.get("ev_c" + idx) != 0 &&
+                               sim.get("c_req" + idx) != 0
+                         : sim.get("c_grant" + idx) != 0;
+    if (won) {
+      e.port = trace::PortKind::C;
+      e.pseudo_port = i;
+      bus.emit(e);
+    }
+  }
+  const char* producer_grant = config_.event_driven ? "p_grant" : "d_grant";
+  for (int j = 0; j < config_.num_producers; ++j) {
+    if (sim.get(producer_grant + std::to_string(j)) != 0) {
+      e.port = trace::PortKind::D;
+      e.pseudo_port = j;
+      bus.emit(e);
+    }
+  }
+
+  if (config_.event_driven) {
+    auto slot = static_cast<std::int64_t>(sim.get("slot"));
+    if (slot != last_slot_) {
+      last_slot_ = slot;
+      trace::Event se;
+      se.cycle = cycle;
+      se.controller = config_.controller;
+      se.kind = trace::EventKind::SlotAdvance;
+      se.value = slot;
+      bus.emit(se);
+    }
+  }
+}
+
+}  // namespace hicsync::memorg

@@ -4,7 +4,9 @@
 #include <stdexcept>
 
 #include "memalloc/sizing.h"
+#include "memorg/probe.h"
 #include "support/bits.h"
+#include "support/strings.h"
 
 namespace hicsync::sim {
 
@@ -48,6 +50,9 @@ struct SystemSim::Controller {
   std::vector<std::string> a_waiters;
   std::string a_owner;
   std::size_t a_rotate = 0;
+
+  // hic-trace probe over the generated netlist (grants, slot).
+  std::unique_ptr<memorg::ControllerProbe> probe;
 
   // Event-driven slot table: slot index of each (dep, endpoint).
   struct SlotRef {
@@ -161,6 +166,7 @@ struct SystemSim::ThreadExec {
     int pseudo_port = -1;
     int target_slot = -1;   // event-driven
     std::size_t round = static_cast<std::size_t>(-1);  // DepRound index
+    std::uint64_t wait_cycles = 0;  // consecutive stalled cycles
   };
 
   // Execution plan of the current state: one entry per statement (the
@@ -182,6 +188,18 @@ struct SystemSim::ThreadExec {
   std::size_t plan_index = 0;
   std::size_t operand_index = 0;
   std::uint64_t branch_value = 0;
+  bool trace_blocked = false;  // a ThreadBlock event is open
+
+  /// The memory operation currently in flight, if any.
+  [[nodiscard]] const MemOp* current_op() const {
+    if (plan_index >= plan.size()) return nullptr;
+    const StmtPlan& p = plan[plan_index];
+    if (mode == Mode::Fetch && operand_index < p.operands.size()) {
+      return &p.operands[operand_index].op;
+    }
+    if (mode == Mode::Write) return &p.write;
+    return nullptr;
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -225,6 +243,12 @@ SystemSim::SystemSim(const hic::Program& program, const hic::Sema& sema,
         }
       }
     }
+    memorg::ProbeConfig probe_cfg;
+    probe_cfg.controller = bram.id;
+    probe_cfg.event_driven = options.organization == OrgKind::EventDriven;
+    probe_cfg.num_consumers = plan->consumer_pseudo_ports();
+    probe_cfg.num_producers = plan->producer_pseudo_ports();
+    ctrl->probe = std::make_unique<memorg::ControllerProbe>(probe_cfg);
     ctrl->sim->reset();
     controllers_.push_back(std::move(ctrl));
   }
@@ -293,6 +317,92 @@ bool SystemSim::is_blocked(const std::string& thread) const {
   if (t == nullptr) return false;
   return t->mode == ThreadExec::Mode::Fetch ||
          t->mode == ThreadExec::Mode::Write;
+}
+
+namespace {
+
+const char* mode_name(SystemSim::ThreadExec::Mode m) {
+  using Mode = SystemSim::ThreadExec::Mode;
+  switch (m) {
+    case Mode::Gated: return "gated";
+    case Mode::Plan: return "plan";
+    case Mode::Fetch: return "fetch";
+    case Mode::Compute: return "compute";
+    case Mode::Write: return "write";
+    case Mode::Advance: return "advance";
+    case Mode::Halted: return "halted";
+  }
+  return "?";
+}
+
+const char* stage_name(SystemSim::ThreadExec::MemOp::Stage s) {
+  using Stage = SystemSim::ThreadExec::MemOp::Stage;
+  switch (s) {
+    case Stage::Idle: return "idle";
+    case Stage::PortA: return "waiting for port A";
+    case Stage::PortA_Data: return "port A read data";
+    case Stage::Request: return "waiting for grant";
+    case Stage::WaitValid: return "waiting for read data";
+    case Stage::EvWaitSlot: return "waiting for schedule slot";
+    case Stage::Done: return "done";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::vector<ThreadDiagnostic> SystemSim::thread_diagnostics() const {
+  std::vector<ThreadDiagnostic> out;
+  for (const auto& tp : threads_) {
+    const ThreadExec& t = *tp;
+    ThreadDiagnostic d;
+    d.thread = t.name;
+    d.passes = t.passes;
+    d.mode = mode_name(t.mode);
+    d.fsm_state = t.state;
+    d.blocked = t.mode == ThreadExec::Mode::Fetch ||
+                t.mode == ThreadExec::Mode::Write;
+    if (const ThreadExec::MemOp* mo = t.current_op();
+        mo != nullptr && mo->stage != ThreadExec::MemOp::Stage::Idle &&
+        mo->stage != ThreadExec::MemOp::Stage::Done) {
+      const char* role = mo->role == synth::AccessRole::ConsumerRead
+                             ? "consumer read"
+                             : (mo->role == synth::AccessRole::ProducerWrite
+                                    ? "producer write"
+                                    : (mo->is_write ? "write" : "read"));
+      std::string port =
+          mo->role == synth::AccessRole::ConsumerRead
+              ? "C" + std::to_string(mo->pseudo_port)
+              : (mo->role == synth::AccessRole::ProducerWrite
+                     ? "D" + std::to_string(mo->pseudo_port)
+                     : "A");
+      d.waiting_on = support::format(
+          "%s%s on bram%d port %s, %s, %llu cycle(s) waiting", role,
+          mo->dep != nullptr ? (" of dep '" + mo->dep->id + "'").c_str()
+                             : "",
+          mo->ctrl != nullptr ? mo->ctrl->bram_id : -1, port.c_str(),
+          stage_name(mo->stage),
+          static_cast<unsigned long long>(mo->wait_cycles));
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::string SystemSim::stall_report() const {
+  std::string out = support::format(
+      "simulation state at cycle %llu (%s organization):\n",
+      static_cast<unsigned long long>(cycle_),
+      to_string(options_.organization));
+  for (const ThreadDiagnostic& d : thread_diagnostics()) {
+    out += support::format("  %-12s passes=%d mode=%s fsm_state=%d%s\n",
+                           d.thread.c_str(), d.passes, d.mode.c_str(),
+                           d.fsm_state, d.blocked ? " BLOCKED" : "");
+    if (!d.waiting_on.empty()) {
+      out += "      waiting: " + d.waiting_on + "\n";
+    }
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -404,9 +514,16 @@ std::uint64_t eval_expr(const hic::Expr& e, const EvalCtx& ctx) {
 // ---------------------------------------------------------------------------
 
 void SystemSim::step() {
+  const bool tracing = trace_ != nullptr && trace_->active();
+  if (tracing) trace_->begin_cycle(cycle_);
   for (auto& ctrl : controllers_) ctrl->begin_cycle();
   drive_phase();
   for (auto& ctrl : controllers_) ctrl->sim->settle();
+  if (tracing) {
+    for (auto& ctrl : controllers_) {
+      ctrl->probe->sample(*ctrl->sim, cycle_, *trace_);
+    }
+  }
   observe_phase();
   for (auto& ctrl : controllers_) ctrl->sim->step();
   ++cycle_;
@@ -497,20 +614,40 @@ void drive_mem_op(ThreadExecT& t, ThreadExecT::MemOp& mo) {
 
 namespace {
 
-template <typename OnProduce, typename OnConsume, typename OpenRound>
+/// Checks whether any pseudo-port other than `ours` won the named grant
+/// line this cycle — the ArbitrationLoss / DependencyNotProduced split.
+bool another_port_granted(const rtl::ModuleSim& sim, const char* prefix,
+                          int ours, int count) {
+  for (int k = 0; k < count; ++k) {
+    if (k == ours) continue;
+    if (sim.get(prefix + std::to_string(k)) != 0) return true;
+  }
+  return false;
+}
+
+// `on_access(t, mo, granted, cause)` is invoked for every cycle the op
+// occupies (or waits for) its port: exactly one of granted/stalled per
+// cycle. The data-valid cycle of a consumer read reports through
+// `record_consume` instead.
+template <typename OnProduce, typename OnConsume, typename OpenRound,
+          typename OnAccess>
 void observe_mem_op(SystemSim::ThreadExec& t, SystemSim::ThreadExec::MemOp& mo,
                     OnProduce&& record_produce, OnConsume&& record_consume,
-                    OpenRound&& open_round_of) {
+                    OpenRound&& open_round_of, OnAccess&& on_access) {
+  using StallCause = trace::StallCause;
   SystemSim::Controller& c = *mo.ctrl;
   rtl::ModuleSim& sim = *c.sim;
   switch (mo.stage) {
     case ThreadExec::MemOp::Stage::PortA:
       if (c.a_owner == t.name) {
+        on_access(t, mo, true, StallCause::None);
         if (mo.is_write) {
           mo.stage = ThreadExec::MemOp::Stage::Done;  // commits on this edge
         } else {
           mo.stage = ThreadExec::MemOp::Stage::PortA_Data;
         }
+      } else {
+        on_access(t, mo, false, StallCause::PortABusy);
       }
       break;
     case ThreadExec::MemOp::Stage::PortA_Data:
@@ -522,31 +659,54 @@ void observe_mem_op(SystemSim::ThreadExec& t, SystemSim::ThreadExec::MemOp& mo,
       std::string p = std::to_string(mo.pseudo_port);
       if (mo.is_write) {
         if (sim.get("d_grant" + p) != 0) {
+          on_access(t, mo, true, StallCause::None);
           record_produce(t, mo);
           mo.stage = SystemSim::ThreadExec::MemOp::Stage::Done;
+        } else {
+          on_access(t, mo, false,
+                    another_port_granted(sim, "d_grant", mo.pseudo_port,
+                                         c.plan->producer_pseudo_ports())
+                        ? StallCause::ArbitrationLoss
+                        : StallCause::DependencyNotProduced);
         }
       } else {
         if (sim.get("c_grant" + p) != 0) {
+          on_access(t, mo, true, StallCause::None);
           mo.round = open_round_of(mo);
           mo.stage = SystemSim::ThreadExec::MemOp::Stage::WaitValid;
+        } else {
+          on_access(t, mo, false,
+                    another_port_granted(sim, "c_grant", mo.pseudo_port,
+                                         c.plan->consumer_pseudo_ports())
+                        ? StallCause::ArbitrationLoss
+                        : StallCause::DependencyNotProduced);
         }
       }
       break;
     }
     case SystemSim::ThreadExec::MemOp::Stage::EvWaitSlot: {
       std::uint64_t slot = sim.get("slot");
-      if (static_cast<int>(slot) != mo.target_slot) break;
+      if (static_cast<int>(slot) != mo.target_slot) {
+        on_access(t, mo, false, StallCause::NotOurSlot);
+        break;
+      }
       std::string p = std::to_string(mo.pseudo_port);
       if (mo.is_write) {
         if (sim.get("p_grant" + p) != 0) {
+          on_access(t, mo, true, StallCause::None);
           record_produce(t, mo);
           mo.stage = SystemSim::ThreadExec::MemOp::Stage::Done;
+        } else {
+          on_access(t, mo, false, StallCause::DependencyNotProduced);
         }
       } else {
         // Our slot fires this edge iff our request was up.
         if (sim.get("c_req" + p) != 0) {
+          on_access(t, mo, true, StallCause::None);
           mo.round = open_round_of(mo);
           mo.stage = SystemSim::ThreadExec::MemOp::Stage::WaitValid;
+        } else {
+          on_access(t, mo, false, StallCause::DependencyNotProduced);
         }
       }
       break;
@@ -557,6 +717,8 @@ void observe_mem_op(SystemSim::ThreadExec& t, SystemSim::ThreadExec::MemOp& mo,
         mo.result = sim.get("bus_rdata");
         record_consume(t, mo);
         mo.stage = SystemSim::ThreadExec::MemOp::Stage::Done;
+      } else {
+        on_access(t, mo, false, StallCause::DataWait);
       }
       break;
     }
@@ -577,6 +739,14 @@ void SystemSim::drive_phase() {
       if (t.gate && t.gate(cycle_)) {
         t.state = t.fsm.initial();
         t.mode = ThreadExec::Mode::Plan;
+        if (trace_ != nullptr && trace_->active()) {
+          trace::Event e;
+          e.cycle = cycle_;
+          e.kind = trace::EventKind::FsmState;
+          e.thread = t.name;
+          e.value = t.state;
+          trace_->emit(e);
+        }
       } else {
         continue;
       }
@@ -801,27 +971,105 @@ void SystemSim::observe_phase() {
         mo = &p.write;
       }
       if (mo != nullptr && mo->ctrl != nullptr) {
+        const bool tracing = trace_ != nullptr && trace_->active();
+        auto port_kind_of = [](const ThreadExec::MemOp& m2) {
+          switch (m2.role) {
+            case synth::AccessRole::ConsumerRead: return trace::PortKind::C;
+            case synth::AccessRole::ProducerWrite: return trace::PortKind::D;
+            case synth::AccessRole::Plain: break;
+          }
+          return trace::PortKind::A;
+        };
+        auto base_event = [&](const ThreadExec& te,
+                              const ThreadExec::MemOp& m2) {
+          trace::Event e;
+          e.cycle = cycle_;
+          e.controller = m2.ctrl->bram_id;
+          e.port = port_kind_of(m2);
+          e.pseudo_port = m2.pseudo_port;
+          e.thread = te.name;
+          if (m2.dep != nullptr) e.dep = m2.dep->id;
+          return e;
+        };
         observe_mem_op(
             t, *mo,
-            [this](ThreadExec& te, ThreadExec::MemOp& m2) {
+            [this, tracing, &base_event](ThreadExec& te,
+                                         ThreadExec::MemOp& m2) {
               if (m2.dep == nullptr) return;
               DepRound round;
               round.dep_id = m2.dep->id;
               round.produce_grant_cycle = cycle_;
               open_round_[m2.dep->id] = rounds_.size();
               rounds_.push_back(std::move(round));
-              (void)te;
+              if (tracing) {
+                trace::Event e = base_event(te, m2);
+                e.kind = trace::EventKind::Produce;
+                trace_->emit(e);
+              }
             },
-            [this](ThreadExec& te, ThreadExec::MemOp& m2) {
+            [this, tracing, &base_event](ThreadExec& te,
+                                         ThreadExec::MemOp& m2) {
+              if (tracing && te.trace_blocked) {
+                trace::Event e = base_event(te, m2);
+                e.kind = trace::EventKind::ThreadUnblock;
+                trace_->emit(e);
+                te.trace_blocked = false;
+              }
+              m2.wait_cycles = 0;
               if (m2.dep == nullptr) return;
+              if (tracing) {
+                trace::Event e = base_event(te, m2);
+                e.kind = trace::EventKind::Consume;
+                trace_->emit(e);
+              }
               if (m2.round >= rounds_.size()) return;
               rounds_[m2.round].consume_cycles.emplace_back(te.name, cycle_);
+              if (tracing && rounds_[m2.round].consume_cycles.size() ==
+                                 m2.dep->consumers.size()) {
+                trace::Event e = base_event(te, m2);
+                e.kind = trace::EventKind::RoundComplete;
+                e.value = static_cast<std::int64_t>(
+                    rounds_[m2.round].completion_latency());
+                trace_->emit(e);
+              }
             },
             [this](ThreadExec::MemOp& m2) -> std::size_t {
               if (m2.dep == nullptr) return static_cast<std::size_t>(-1);
               auto it = open_round_.find(m2.dep->id);
               return it == open_round_.end() ? static_cast<std::size_t>(-1)
                                              : it->second;
+            },
+            [this, tracing, &base_event](ThreadExec& te,
+                                         ThreadExec::MemOp& m2, bool granted,
+                                         trace::StallCause cause) {
+              if (granted) {
+                m2.wait_cycles = 0;
+              } else {
+                ++m2.wait_cycles;
+              }
+              if (!tracing) return;
+              trace::Event e = base_event(te, m2);
+              e.kind = trace::EventKind::PortRequest;
+              trace_->emit(e);
+              if (granted) {
+                e.kind = trace::EventKind::PortGrant;
+                trace_->emit(e);
+                if (te.trace_blocked) {
+                  e.kind = trace::EventKind::ThreadUnblock;
+                  trace_->emit(e);
+                  te.trace_blocked = false;
+                }
+              } else {
+                e.kind = trace::EventKind::PortStall;
+                e.cause = cause;
+                trace_->emit(e);
+                if (!te.trace_blocked) {
+                  e.kind = trace::EventKind::ThreadBlock;
+                  e.cause = trace::StallCause::None;
+                  trace_->emit(e);
+                  te.trace_blocked = true;
+                }
+              }
             });
         if (mo->stage == ThreadExec::MemOp::Stage::Done) {
           if (t.mode == ThreadExec::Mode::Fetch) {
@@ -872,6 +1120,14 @@ void SystemSim::observe_phase() {
         case synth::StateKind::Done:
           next = t.state;
           break;
+      }
+      if (trace_ != nullptr && trace_->active() && next != t.state) {
+        trace::Event e;
+        e.cycle = cycle_;
+        e.kind = trace::EventKind::FsmState;
+        e.thread = t.name;
+        e.value = next;
+        trace_->emit(e);
       }
       t.state = next;
       t.mode = ThreadExec::Mode::Plan;

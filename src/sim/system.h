@@ -27,6 +27,7 @@
 #include "rtl/eval.h"
 #include "sim/externs.h"
 #include "synth/fsm.h"
+#include "trace/bus.h"
 
 namespace hicsync::sim {
 
@@ -40,6 +41,19 @@ struct SystemOptions {
   /// message). A gate callback can hold a thread at Done (e.g. waiting for
   /// a packet arrival).
   bool restart_threads = true;
+};
+
+/// Per-thread snapshot for timeout/deadlock reporting: where the thread is
+/// in its FSM and, if it is waiting on the memory system, on what.
+struct ThreadDiagnostic {
+  std::string thread;
+  int passes = 0;
+  std::string mode;        // "gated" | "plan" | "fetch" | "write" | ...
+  int fsm_state = -1;
+  bool blocked = false;
+  /// Human-readable description of the in-flight access ("consumer read of
+  /// dep 'mt1' on bram0 port C1, waiting 153 cycles"); empty when idle.
+  std::string waiting_on;
 };
 
 /// One produce→consume round observed on a dependency.
@@ -68,6 +82,12 @@ class SystemSim {
 
   ExternFuncs& externs() { return externs_; }
 
+  /// Attaches a hic-trace bus (not owned; may be null to detach). With no
+  /// bus — or a bus with no sinks — instrumentation costs one branch per
+  /// cycle, so untraced simulations run at full speed.
+  void set_trace(trace::TraceBus* bus) { trace_ = bus; }
+  [[nodiscard]] trace::TraceBus* trace() const { return trace_; }
+
   /// Gate: called when a thread is at Done (or before its first pass);
   /// returning true releases the next run-to-completion pass. Default:
   /// always true when options.restart_threads.
@@ -90,6 +110,13 @@ class SystemSim {
   /// True if a thread is currently blocked waiting on the controller.
   [[nodiscard]] bool is_blocked(const std::string& thread) const;
 
+  /// Snapshot of every thread's progress and current wait, for timeout
+  /// reporting (what run_until_passes prints on failure) and tests.
+  [[nodiscard]] std::vector<ThreadDiagnostic> thread_diagnostics() const;
+  /// The diagnostics rendered one line per thread, e.g. for a driver to
+  /// print when a simulation deadline expires.
+  [[nodiscard]] std::string stall_report() const;
+
   // Implementation types, defined in system.cpp (opaque to users; public so
   // file-local helpers can name them).
   struct ThreadExec;
@@ -111,6 +138,7 @@ class SystemSim {
   std::vector<DepRound> rounds_;
   std::map<std::string, std::size_t> open_round_;  // dep id -> rounds_ index
   std::uint64_t cycle_ = 0;
+  trace::TraceBus* trace_ = nullptr;
 };
 
 }  // namespace hicsync::sim

@@ -14,6 +14,14 @@
 //   --target-mhz <f>                timing target for the report
 //   --max-cycles <n>                simulation budget (default 100000)
 //
+// Observability (hic-trace; see docs/OBSERVABILITY.md):
+//   --trace=kind[,out=PATH]         attach a trace sink to the simulation;
+//                                   kind is metrics|vcd|chrome, repeatable.
+//                                   Implies --simulate 1 when --simulate is
+//                                   absent. Default outputs: metrics to
+//                                   stdout, vcd to <input stem>.vcd, chrome
+//                                   to <input stem>.trace.json
+//
 // Static analysis (hic-lint; see docs/DIAGNOSTICS.md for the check
 // catalogue):
 //   --lint                          run the lint checks alongside compilation
@@ -41,31 +49,37 @@
 
 #include "core/compiler.h"
 #include "core/tbgen.h"
+#include "core/tracerun.h"
+#include "trace/options.h"
 
 using namespace hicsync;
 
 namespace {
 
+// Single source of truth for the option list and exit-code table: the
+// header comment above, README.md's hicc section, and this string must
+// agree (tests/core/cli grep for --trace in all three).
+constexpr const char* kUsageBody =
+    "  --org arbitrated|event-driven\n"
+    "  --emit-verilog <out.v>\n"
+    "  --emit-testbench <out_tb.v>\n"
+    "  --report | --no-report\n"
+    "  --simulate <passes>\n"
+    "  --trace=metrics|vcd|chrome[,out=PATH]   (repeatable)\n"
+    "  --chain\n"
+    "  --no-cam\n"
+    "  --infer\n"
+    "  --dump-fsm\n"
+    "  --target-mhz <f>\n"
+    "  --max-cycles <n>\n"
+    "  --lint | --lint-only\n"
+    "  -W<check> | -Wno-<check> | --Werror\n"
+    "  --diag-format text|json\n"
+    "exit codes: 0 ok, 1 compile error, 2 usage, 3 sim timeout, 4 lint errors\n";
+
 void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [options] <file.hic | ->\n"
-               "  --org arbitrated|event-driven\n"
-               "  --emit-verilog <out.v>\n"
-               "  --emit-testbench <out_tb.v>\n"
-               "  --report | --no-report\n"
-               "  --simulate <passes>\n"
-               "  --chain\n"
-               "  --no-cam\n"
-               "  --infer\n"
-               "  --dump-fsm\n"
-               "  --target-mhz <f>\n"
-               "  --max-cycles <n>\n"
-               "  --lint | --lint-only\n"
-               "  -W<check> | -Wno-<check> | --Werror\n"
-               "  --diag-format text|json\n"
-               "exit codes: 0 ok, 1 compile error, 2 usage, 3 sim timeout, "
-               "4 lint errors\n",
-               argv0);
+  std::fprintf(stderr, "usage: %s [options] <file.hic | ->\n%s", argv0,
+               kUsageBody);
 }
 
 void list_checks() {
@@ -90,6 +104,7 @@ int main(int argc, char** argv) {
   bool json_diags = false;
   int simulate_passes = 0;
   std::uint64_t max_cycles = 100000;
+  trace::TraceOptions trace_opts;
 
   auto known_check = [](const std::string& id) {
     return analysis::lint::LintRegistry::builtin().find(id) != nullptr;
@@ -126,6 +141,16 @@ int main(int argc, char** argv) {
       report_explicit = true;
     } else if (arg == "--simulate") {
       simulate_passes = std::atoi(next());
+    } else if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
+      std::string spec = arg == "--trace"
+                             ? next()
+                             : arg.substr(std::strlen("--trace="));
+      std::string error;
+      if (!trace::parse_trace_spec(spec, trace_opts, &error)) {
+        std::fprintf(stderr, "bad --trace spec '%s': %s\n", spec.c_str(),
+                     error.c_str());
+        return 2;
+      }
     } else if (arg == "--chain") {
       options.schedule.chain_states = true;
     } else if (arg == "--no-cam") {
@@ -270,26 +295,68 @@ int main(int argc, char** argv) {
                 testbench_out.c_str());
   }
 
+  // Tracing without an explicit --simulate runs one pass: the trace *is*
+  // the requested output.
+  if (trace_opts.any() && simulate_passes == 0) simulate_passes = 1;
+
   if (simulate_passes > 0) {
-    auto simulator = result->make_simulator();
-    if (!simulator->run_until_passes(simulate_passes, max_cycles)) {
+    core::TraceRunOptions run_options;
+    run_options.sinks = trace_opts;
+    run_options.passes = simulate_passes;
+    run_options.max_cycles = max_cycles;
+    core::TraceRunResult run = core::run_traced(*result, run_options);
+
+    // Write trace artifacts even on timeout — a truncated waveform is
+    // exactly what you want when debugging a deadlock.
+    std::string stem = input == "-" ? "stdin" : input;
+    std::size_t slash = stem.find_last_of('/');
+    std::size_t dot = stem.rfind('.');
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash)) {
+      stem = stem.substr(0, dot);
+    }
+    auto write_artifact = [](const std::string& path,
+                             const std::string& body) {
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+        return false;
+      }
+      out << body;
+      std::printf("wrote %s\n", path.c_str());
+      return true;
+    };
+    if (trace_opts.vcd) {
+      std::string path =
+          trace_opts.vcd_out.empty() ? stem + ".vcd" : trace_opts.vcd_out;
+      if (!write_artifact(path, run.vcd)) return 2;
+    }
+    if (trace_opts.chrome) {
+      std::string path = trace_opts.chrome_out.empty()
+                             ? stem + ".trace.json"
+                             : trace_opts.chrome_out;
+      if (!write_artifact(path, run.chrome_json)) return 2;
+    }
+    if (trace_opts.metrics) {
+      if (trace_opts.metrics_out.empty()) {
+        std::printf("%s", run.metrics_text.c_str());
+      } else if (!write_artifact(trace_opts.metrics_out,
+                                 run.metrics_json)) {
+        return 2;
+      }
+    }
+
+    if (!run.converged) {
       std::fprintf(stderr,
-                   "simulation did not reach %d passes in %llu cycles\n",
+                   "simulation did not reach %d passes in %llu cycles\n%s",
                    simulate_passes,
-                   static_cast<unsigned long long>(max_cycles));
+                   static_cast<unsigned long long>(max_cycles),
+                   run.stall_report.c_str());
       return 3;
     }
-    std::printf("simulated %d pass(es) in %llu cycles\n", simulate_passes,
-                static_cast<unsigned long long>(simulator->cycle()));
-    for (const auto& round : simulator->rounds()) {
-      std::printf("  %s: produce@%llu, %zu consumer read(s), "
-                  "completion latency %llu\n",
-                  round.dep_id.c_str(),
-                  static_cast<unsigned long long>(round.produce_grant_cycle),
-                  round.consume_cycles.size(),
-                  static_cast<unsigned long long>(
-                      round.completion_latency()));
-    }
+    std::printf("simulated %d pass(es) in %llu cycles\n%s", simulate_passes,
+                static_cast<unsigned long long>(run.cycles),
+                run.rounds_text.c_str());
   }
   return 0;
 }

@@ -1,0 +1,61 @@
+#include "trace/bus.h"
+
+namespace hicsync::trace {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::PortRequest: return "port-request";
+    case EventKind::PortGrant: return "port-grant";
+    case EventKind::PortStall: return "port-stall";
+    case EventKind::ArbWin: return "arb-win";
+    case EventKind::SlotAdvance: return "slot-advance";
+    case EventKind::Produce: return "produce";
+    case EventKind::Consume: return "consume";
+    case EventKind::RoundComplete: return "round-complete";
+    case EventKind::FsmState: return "fsm-state";
+    case EventKind::ThreadBlock: return "thread-block";
+    case EventKind::ThreadUnblock: return "thread-unblock";
+  }
+  return "unknown";
+}
+
+const char* to_string(StallCause c) {
+  switch (c) {
+    case StallCause::None: return "none";
+    case StallCause::ArbitrationLoss: return "arbitration-loss";
+    case StallCause::DependencyNotProduced: return "dependency-not-produced";
+    case StallCause::NotOurSlot: return "not-our-slot";
+    case StallCause::PortABusy: return "port-a-busy";
+    case StallCause::DataWait: return "data-wait";
+  }
+  return "unknown";
+}
+
+const char* to_string(PortKind p) {
+  switch (p) {
+    case PortKind::None: return "-";
+    case PortKind::A: return "A";
+    case PortKind::B: return "B";
+    case PortKind::C: return "C";
+    case PortKind::D: return "D";
+  }
+  return "?";
+}
+
+void TraceBus::attach(TraceSink* sink) {
+  if (sink != nullptr) sinks_.push_back(sink);
+}
+
+void TraceBus::begin_cycle(std::uint64_t cycle) {
+  for (TraceSink* s : sinks_) s->on_cycle(cycle);
+}
+
+void TraceBus::emit(const Event& e) {
+  for (TraceSink* s : sinks_) s->on_event(e);
+}
+
+void TraceBus::finish(std::uint64_t final_cycle) {
+  for (TraceSink* s : sinks_) s->finish(final_cycle);
+}
+
+}  // namespace hicsync::trace

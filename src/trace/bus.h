@@ -1,0 +1,45 @@
+// The TraceBus: fan-out of simulator events to attached sinks.
+//
+// Emitters hold an optional `TraceBus*`; a null pointer (or a bus with no
+// sinks) costs one branch per instrumentation point, so an untraced
+// simulation runs at full speed. Sinks receive `on_cycle` once per
+// simulated cycle (before that cycle's events), then the cycle's events in
+// emission order, then a single `finish` when the run ends.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace hicsync::trace {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// A new simulation cycle begins. Events that follow carry this cycle.
+  virtual void on_cycle(std::uint64_t cycle) { (void)cycle; }
+  virtual void on_event(const Event& e) = 0;
+  /// The run is over; flush derived state. `final_cycle` is the total
+  /// number of simulated cycles.
+  virtual void finish(std::uint64_t final_cycle) { (void)final_cycle; }
+};
+
+class TraceBus {
+ public:
+  /// Sinks are not owned; they must outlive the bus's last emit/finish.
+  void attach(TraceSink* sink);
+
+  /// True when at least one sink is attached. Emitters check this once per
+  /// cycle and skip event construction entirely when false.
+  [[nodiscard]] bool active() const { return !sinks_.empty(); }
+
+  void begin_cycle(std::uint64_t cycle);
+  void emit(const Event& e);
+  void finish(std::uint64_t final_cycle);
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace hicsync::trace

@@ -1,0 +1,62 @@
+// hic-trace event taxonomy (see docs/OBSERVABILITY.md).
+//
+// The simulator and the controller probes publish cycle-stamped, typed
+// events onto a TraceBus; sinks (metrics, VCD, chrome-trace) subscribe.
+// Events are transient: the string fields view names owned by the emitter
+// (thread names, dependency ids), so sinks that buffer must intern them.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hicsync::trace {
+
+enum class EventKind : std::uint8_t {
+  PortRequest,    // a thread asserts a request on a logical port
+  PortGrant,      // the request was granted this cycle
+  PortStall,      // request outstanding, no grant this cycle (see cause)
+  ArbWin,         // controller side: pseudo-port that won the port
+  SlotAdvance,    // event-driven selection logic moved to a new slot
+  Produce,        // producer write accepted (opens a dependency round)
+  Consume,        // consumer read data valid (a round's consume edge)
+  RoundComplete,  // every consumer of the round has read (value = latency)
+  FsmState,       // thread entered an FSM state (value = state id)
+  ThreadBlock,    // thread began stalling on the memory system
+  ThreadUnblock,  // thread's stalled access was finally granted
+};
+
+[[nodiscard]] const char* to_string(EventKind k);
+
+/// Why a requested access did not complete this cycle. The distinction the
+/// paper's §3 analysis needs is ArbitrationLoss (another pseudo-port won
+/// the shared port) vs DependencyNotProduced (the guard held the access:
+/// countdown not ready / producer not yet written).
+enum class StallCause : std::uint8_t {
+  None,
+  ArbitrationLoss,        // another pseudo-port won this cycle
+  DependencyNotProduced,  // dependency guard not satisfied
+  NotOurSlot,             // event-driven: schedule is in another slot
+  PortABusy,              // another thread owns port A this cycle
+  DataWait,               // granted; waiting for read-data valid
+};
+
+[[nodiscard]] const char* to_string(StallCause c);
+
+/// Logical port of the §3.1 wrapper the event refers to.
+enum class PortKind : std::uint8_t { None, A, B, C, D };
+
+[[nodiscard]] const char* to_string(PortKind p);
+
+struct Event {
+  std::uint64_t cycle = 0;
+  EventKind kind = EventKind::PortRequest;
+  PortKind port = PortKind::None;
+  StallCause cause = StallCause::None;
+  int controller = -1;     // BRAM id; -1 when not controller-scoped
+  int pseudo_port = -1;    // index on the logical port; -1 for port A
+  std::int64_t value = -1; // FSM state id / slot number / round latency
+  std::string_view thread; // emitting thread; empty for controller events
+  std::string_view dep;    // dependency id; empty when not dep-scoped
+};
+
+}  // namespace hicsync::trace

@@ -1,0 +1,340 @@
+#include "trace/metrics.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace hicsync::trace {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<std::uint64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(std::uint64_t sample) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && sample >= bounds_[i]) ++i;
+  ++counts_[i];
+  if (count_ == 0 || sample < min_) min_ = sample;
+  if (sample > max_) max_ = sample;
+  sum_ += sample;
+  ++count_;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::string Histogram::str() const {
+  std::string out;
+  std::uint64_t lo = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      lo = i < bounds_.size() ? bounds_[i] : lo;
+      continue;
+    }
+    if (!out.empty()) out += " ";
+    if (i < bounds_.size()) {
+      out += support::format("[%llu,%llu):%llu",
+                             static_cast<unsigned long long>(lo),
+                             static_cast<unsigned long long>(bounds_[i]),
+                             static_cast<unsigned long long>(counts_[i]));
+      lo = bounds_[i];
+    } else {
+      out += support::format("[%llu,inf):%llu",
+                             static_cast<unsigned long long>(lo),
+                             static_cast<unsigned long long>(counts_[i]));
+    }
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<std::uint64_t> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
+  }
+  return it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::text() const {
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += support::format("%-44s %llu\n", name.c_str(),
+                           static_cast<unsigned long long>(c.value()));
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += support::format(
+        "%-44s n=%llu min=%llu mean=%.1f max=%llu  %s\n", name.c_str(),
+        static_cast<unsigned long long>(h.count()),
+        static_cast<unsigned long long>(h.min()), h.mean(),
+        static_cast<unsigned long long>(h.max()), h.str().c_str());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += support::format("%s\n    \"%s\": %llu", first ? "" : ",",
+                           name.c_str(),
+                           static_cast<unsigned long long>(c.value()));
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += support::format(
+        "%s\n    \"%s\": {\"count\": %llu, \"min\": %llu, \"mean\": %.3f, "
+        "\"max\": %llu, \"buckets\": [",
+        first ? "" : ",", name.c_str(),
+        static_cast<unsigned long long>(h.count()),
+        static_cast<unsigned long long>(h.min()), h.mean(),
+        static_cast<unsigned long long>(h.max()));
+    for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
+      out += support::format(
+          "%s%llu", i == 0 ? "" : ", ",
+          static_cast<unsigned long long>(h.bucket_counts()[i]));
+    }
+    out += "]}";
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSink
+// ---------------------------------------------------------------------------
+
+std::string PortStats::name() const {
+  std::string n = "bram" + std::to_string(controller) + "." +
+                  to_string(port);
+  if (pseudo_port >= 0) n += std::to_string(pseudo_port);
+  return n;
+}
+
+namespace {
+
+/// Latency bucket bounds (cycles) shared by every round histogram, chosen
+/// to resolve the §3.2 deterministic latencies (a handful of cycles) and
+/// still separate pathological stalls.
+std::vector<std::uint64_t> round_bounds() {
+  return {2, 4, 8, 16, 32, 64, 128, 256};
+}
+
+}  // namespace
+
+MetricsSink::MetricsSink() = default;
+
+Histogram& MetricsSink::round_histogram(const std::string& dep) {
+  return registry_.histogram("dep." + dep + ".round_latency", round_bounds());
+}
+
+void MetricsSink::on_cycle(std::uint64_t cycle) {
+  cycles_ = std::max(cycles_, cycle + 1);
+}
+
+void MetricsSink::on_event(const Event& e) {
+  switch (e.kind) {
+    case EventKind::PortRequest:
+    case EventKind::PortGrant:
+    case EventKind::PortStall: {
+      PortStats proto;
+      proto.controller = e.controller;
+      proto.port = e.port;
+      proto.pseudo_port = e.port == PortKind::A ? -1 : e.pseudo_port;
+      PortStats& p = ports_.emplace(proto.name(), proto).first->second;
+      if (e.kind == EventKind::PortRequest) {
+        ++p.requests;
+      } else if (e.kind == EventKind::PortGrant) {
+        ++p.grants;
+        std::uint64_t& last = controller_last_[e.controller];
+        if (last != e.cycle + 1) {
+          last = e.cycle + 1;
+          ++controller_active_[e.controller];
+        }
+      } else {
+        switch (e.cause) {
+          case StallCause::ArbitrationLoss: ++p.stall_arbitration; break;
+          case StallCause::DependencyNotProduced: ++p.stall_dependency; break;
+          case StallCause::NotOurSlot: ++p.stall_slot; break;
+          case StallCause::PortABusy: ++p.stall_port_a; break;
+          case StallCause::DataWait: ++p.stall_data; break;
+          case StallCause::None: break;
+        }
+        registry_
+            .counter("stall." + std::string(to_string(e.cause)))
+            .add();
+      }
+      break;
+    }
+    case EventKind::ArbWin:
+      registry_
+          .counter("arb.bram" + std::to_string(e.controller) + ".win." +
+                   to_string(e.port) + std::to_string(e.pseudo_port))
+          .add();
+      break;
+    case EventKind::SlotAdvance:
+      registry_
+          .counter("slot.bram" + std::to_string(e.controller) + ".advances")
+          .add();
+      break;
+    case EventKind::Produce:
+      registry_.counter("dep." + std::string(e.dep) + ".produces").add();
+      break;
+    case EventKind::Consume:
+      registry_.counter("dep." + std::string(e.dep) + ".consumes").add();
+      break;
+    case EventKind::RoundComplete:
+      round_histogram(std::string(e.dep))
+          .record(static_cast<std::uint64_t>(e.value));
+      break;
+    case EventKind::FsmState:
+      registry_
+          .counter("thread." + std::string(e.thread) + ".state_transitions")
+          .add();
+      break;
+    case EventKind::ThreadBlock:
+      block_start_[std::string(e.thread)] = e.cycle;
+      break;
+    case EventKind::ThreadUnblock: {
+      auto it = block_start_.find(std::string(e.thread));
+      if (it != block_start_.end()) {
+        block_spans_[it->first] += e.cycle - it->second;
+        block_start_.erase(it);
+      }
+      break;
+    }
+  }
+}
+
+void MetricsSink::finish(std::uint64_t final_cycle) {
+  cycles_ = std::max(cycles_, final_cycle);
+  // Close any still-open block spans at the end of the run.
+  for (const auto& [thread, start] : block_start_) {
+    block_spans_[thread] += cycles_ > start ? cycles_ - start : 0;
+  }
+  block_start_.clear();
+}
+
+std::vector<PortStats> MetricsSink::port_stats() const {
+  std::vector<PortStats> out;
+  out.reserve(ports_.size());
+  for (const auto& [name, p] : ports_) out.push_back(p);
+  return out;
+}
+
+double MetricsSink::occupancy_pct(int controller) const {
+  auto it = controller_active_.find(controller);
+  if (it == controller_active_.end() || cycles_ == 0) return 0.0;
+  return 100.0 * static_cast<double>(it->second) /
+         static_cast<double>(cycles_);
+}
+
+std::string MetricsSink::report_text() const {
+  std::string out = support::format(
+      "=== hic-trace metrics: %llu cycles ===\n",
+      static_cast<unsigned long long>(cycles_));
+  out += "per-port utilization and stall attribution:\n";
+  out += support::format(
+      "  %-12s %8s %8s %7s %9s %9s %9s %9s %9s\n", "port", "requests",
+      "grants", "util%", "arb-loss", "dep-wait", "slot-wait", "portA-busy",
+      "data-wait");
+  for (const auto& [name, p] : ports_) {
+    out += support::format(
+        "  %-12s %8llu %8llu %6.1f%% %9llu %9llu %9llu %9llu %9llu\n",
+        name.c_str(), static_cast<unsigned long long>(p.requests),
+        static_cast<unsigned long long>(p.grants),
+        p.utilization_pct(cycles_),
+        static_cast<unsigned long long>(p.stall_arbitration),
+        static_cast<unsigned long long>(p.stall_dependency),
+        static_cast<unsigned long long>(p.stall_slot),
+        static_cast<unsigned long long>(p.stall_port_a),
+        static_cast<unsigned long long>(p.stall_data));
+  }
+  out += "controller occupancy:\n";
+  for (const auto& [ctrl, active] : controller_active_) {
+    out += support::format(
+        "  bram%-3d active %llu / %llu cycles (%.1f%%)\n", ctrl,
+        static_cast<unsigned long long>(active),
+        static_cast<unsigned long long>(cycles_), occupancy_pct(ctrl));
+  }
+  if (!block_spans_.empty()) {
+    out += "thread blocking:\n";
+    for (const auto& [thread, blocked] : block_spans_) {
+      out += support::format(
+          "  %-12s blocked %llu cycles (%.1f%%)\n", thread.c_str(),
+          static_cast<unsigned long long>(blocked),
+          cycles_ == 0 ? 0.0
+                       : 100.0 * static_cast<double>(blocked) /
+                             static_cast<double>(cycles_));
+    }
+  }
+  out += registry_.text();
+  return out;
+}
+
+std::string MetricsSink::report_json() const {
+  std::string out = support::format(
+      "{\n\"cycles\": %llu,\n\"ports\": [",
+      static_cast<unsigned long long>(cycles_));
+  bool first = true;
+  for (const auto& [name, p] : ports_) {
+    out += support::format(
+        "%s\n  {\"port\": \"%s\", \"requests\": %llu, \"grants\": %llu, "
+        "\"utilization_pct\": %.3f, \"stalls\": {\"arbitration_loss\": %llu, "
+        "\"dependency_not_produced\": %llu, \"not_our_slot\": %llu, "
+        "\"port_a_busy\": %llu, \"data_wait\": %llu}}",
+        first ? "" : ",", name.c_str(),
+        static_cast<unsigned long long>(p.requests),
+        static_cast<unsigned long long>(p.grants),
+        p.utilization_pct(cycles_),
+        static_cast<unsigned long long>(p.stall_arbitration),
+        static_cast<unsigned long long>(p.stall_dependency),
+        static_cast<unsigned long long>(p.stall_slot),
+        static_cast<unsigned long long>(p.stall_port_a),
+        static_cast<unsigned long long>(p.stall_data));
+    first = false;
+  }
+  out += "\n],\n\"occupancy_pct\": {";
+  first = true;
+  for (const auto& [ctrl, active] : controller_active_) {
+    (void)active;
+    out += support::format("%s\"bram%d\": %.3f", first ? "" : ", ", ctrl,
+                           occupancy_pct(ctrl));
+    first = false;
+  }
+  out += "},\n\"registry\": " + registry_.json() + "}\n";
+  return out;
+}
+
+}  // namespace hicsync::trace

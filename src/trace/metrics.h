@@ -1,0 +1,147 @@
+// MetricsRegistry: counters + fixed-bucket latency histograms, and the
+// MetricsSink that populates one from TraceBus events.
+//
+// The registry is deliberately generic (named counters/histograms with a
+// text and JSON rendering) so benches can publish their own series; the
+// sink adds the derived §3/§4 views: per-port utilization %, stall-cycle
+// attribution by cause, per-dependency round-latency distributions and
+// controller occupancy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/bus.h"
+
+namespace hicsync::trace {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram: bucket i counts samples < bounds[i] (and >=
+/// bounds[i-1]); one implicit overflow bucket collects the rest. Bounds are
+/// fixed at creation so recording is O(#buckets) with no allocation.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> upper_bounds);
+
+  void record(std::uint64_t sample);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const {
+    return bounds_;
+  }
+  /// bucket_counts().size() == bounds().size() + 1 (last = overflow).
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const {
+    return counts_;
+  }
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns (creating on first use) the named series. Names are dotted
+  /// paths ("port.bram0.C0.grants"); the renderings sort by name.
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::uint64_t> upper_bounds);
+
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(
+      const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  [[nodiscard]] std::string text() const;
+  [[nodiscard]] std::string json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Per-pseudo-port tallies the sink derives from the event stream. For
+/// ports C and D each simulated cycle with an in-flight access is exactly
+/// one of granted/stalled, so `grants + stalls() + idle == total cycles`
+/// (the reconciliation tier-1 asserts). Port A is shared by several
+/// threads, so its stall count can exceed cycles.
+struct PortStats {
+  int controller = -1;
+  PortKind port = PortKind::None;
+  int pseudo_port = -1;
+
+  std::uint64_t requests = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t stall_arbitration = 0;
+  std::uint64_t stall_dependency = 0;
+  std::uint64_t stall_slot = 0;
+  std::uint64_t stall_port_a = 0;
+  std::uint64_t stall_data = 0;
+
+  [[nodiscard]] std::uint64_t stalls() const {
+    return stall_arbitration + stall_dependency + stall_slot + stall_port_a +
+           stall_data;
+  }
+  [[nodiscard]] double utilization_pct(std::uint64_t cycles) const {
+    return cycles == 0 ? 0.0
+                       : 100.0 * static_cast<double>(grants) /
+                             static_cast<double>(cycles);
+  }
+  [[nodiscard]] std::string name() const;
+};
+
+class MetricsSink : public TraceSink {
+ public:
+  MetricsSink();
+
+  void on_cycle(std::uint64_t cycle) override;
+  void on_event(const Event& e) override;
+  void finish(std::uint64_t final_cycle) override;
+
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+  [[nodiscard]] const MetricsRegistry& registry() const { return registry_; }
+  [[nodiscard]] std::vector<PortStats> port_stats() const;
+  /// Occupancy of one controller: % of cycles it granted any access.
+  [[nodiscard]] double occupancy_pct(int controller) const;
+
+  /// The `--trace=metrics` report.
+  [[nodiscard]] std::string report_text() const;
+  [[nodiscard]] std::string report_json() const;
+
+ private:
+  Histogram& round_histogram(const std::string& dep);
+
+  MetricsRegistry registry_;
+  std::uint64_t cycles_ = 0;
+  std::map<std::string, PortStats> ports_;            // keyed by name()
+  std::map<int, std::uint64_t> controller_active_;    // cycles w/ a grant
+  std::map<int, std::uint64_t> controller_last_;      // last counted cycle
+  std::map<std::string, std::uint64_t> block_start_;  // open block spans
+  std::map<std::string, std::uint64_t> block_spans_;  // thread -> cycles
+};
+
+}  // namespace hicsync::trace

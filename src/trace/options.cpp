@@ -1,0 +1,44 @@
+#include "trace/options.h"
+
+#include "support/strings.h"
+
+namespace hicsync::trace {
+
+bool parse_trace_spec(std::string_view spec, TraceOptions& opts,
+                      std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::vector<std::string> parts = support::split(spec, ',');
+  if (parts.empty() || parts[0].empty()) {
+    return fail("empty --trace spec");
+  }
+  const std::string kind = parts[0];
+  std::string out;
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    std::string_view p = support::trim(parts[i]);
+    if (p.rfind("out=", 0) == 0) {
+      out = std::string(p.substr(4));
+      if (out.empty()) return fail("empty out= path in --trace spec");
+    } else {
+      return fail("unknown --trace option '" + std::string(p) + "'");
+    }
+  }
+  if (kind == "metrics") {
+    opts.metrics = true;
+    if (!out.empty()) opts.metrics_out = out;
+  } else if (kind == "vcd") {
+    opts.vcd = true;
+    if (!out.empty()) opts.vcd_out = out;
+  } else if (kind == "chrome") {
+    opts.chrome = true;
+    if (!out.empty()) opts.chrome_out = out;
+  } else {
+    return fail("unknown --trace kind '" + kind +
+                "' (expected metrics|vcd|chrome)");
+  }
+  return true;
+}
+
+}  // namespace hicsync::trace

@@ -1,0 +1,30 @@
+// Parsing of `--trace=` specs shared by hicc and other drivers.
+//
+// A spec is `kind[,out=PATH]` with kind one of metrics|vcd|chrome; the flag
+// is repeatable, each occurrence enabling one sink. Empty paths mean the
+// driver's default (metrics: stdout; vcd/chrome: derived from the input
+// file name).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hicsync::trace {
+
+struct TraceOptions {
+  bool metrics = false;
+  bool vcd = false;
+  bool chrome = false;
+  std::string metrics_out;  // empty = stdout
+  std::string vcd_out;      // empty = <input stem>.vcd
+  std::string chrome_out;   // empty = <input stem>.trace.json
+
+  [[nodiscard]] bool any() const { return metrics || vcd || chrome; }
+};
+
+/// Applies one spec to `opts`. Returns false (and fills `error`) on an
+/// unknown kind or malformed option.
+[[nodiscard]] bool parse_trace_spec(std::string_view spec, TraceOptions& opts,
+                                    std::string* error);
+
+}  // namespace hicsync::trace

@@ -1,0 +1,199 @@
+#include "trace/vcd.h"
+
+#include <algorithm>
+
+namespace hicsync::trace {
+
+namespace {
+
+constexpr int kSlotWidth = 16;
+constexpr int kStateWidth = 32;
+
+std::string port_signal(const Event& e, const char* suffix) {
+  switch (e.port) {
+    case PortKind::A: return std::string("a_") + suffix;
+    case PortKind::B: return std::string("b_") + suffix;
+    case PortKind::C:
+      return std::string("c_") + suffix + std::to_string(e.pseudo_port);
+    case PortKind::D:
+      return std::string("d_") + suffix + std::to_string(e.pseudo_port);
+    case PortKind::None: break;
+  }
+  return {};
+}
+
+std::string bram_scope(const Event& e) {
+  return "bram" + std::to_string(e.controller);
+}
+
+std::string bin(std::uint64_t v, int width) {
+  std::string s;
+  for (int b = width - 1; b >= 0; --b) {
+    s += ((v >> b) & 1) != 0 ? '1' : '0';
+  }
+  // VCD allows dropping leading zeros (keep at least one digit).
+  std::size_t nz = s.find('1');
+  return nz == std::string::npos ? "0" : s.substr(nz);
+}
+
+}  // namespace
+
+VcdSink::Signal& VcdSink::signal(const std::string& scope,
+                                 const std::string& name, int width,
+                                 bool pulse) {
+  std::string key = scope + "/" + name;
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    it = index_.emplace(key, signals_.size()).first;
+    Signal s;
+    s.scope = scope;
+    s.name = name;
+    s.width = width;
+    s.pulse = pulse;
+    signals_.push_back(std::move(s));
+  }
+  return signals_[it->second];
+}
+
+void VcdSink::set(Signal& s, std::uint64_t value) {
+  pending_[static_cast<std::size_t>(&s - signals_.data())] = value;
+}
+
+void VcdSink::flush_cycle() {
+  if (!any_cycle_) return;
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    Signal& s = signals_[i];
+    auto it = pending_.find(i);
+    std::uint64_t v =
+        it != pending_.end() ? it->second : (s.pulse ? 0 : s.value);
+    if (v != s.value) {
+      s.changes.emplace_back(cycle_, v);
+      s.value = v;
+    }
+  }
+  pending_.clear();
+}
+
+void VcdSink::on_cycle(std::uint64_t cycle) {
+  if (any_cycle_ && cycle != cycle_) flush_cycle();
+  cycle_ = cycle;
+  any_cycle_ = true;
+}
+
+void VcdSink::on_event(const Event& e) {
+  switch (e.kind) {
+    case EventKind::PortRequest:
+      set(signal(bram_scope(e), port_signal(e, "req"), 1, true), 1);
+      break;
+    case EventKind::PortGrant:
+    case EventKind::ArbWin:
+      set(signal(bram_scope(e), port_signal(e, "grant"), 1, true), 1);
+      break;
+    case EventKind::PortStall:
+      set(signal(bram_scope(e), port_signal(e, "stall"), 1, true), 1);
+      break;
+    case EventKind::SlotAdvance:
+      set(signal(bram_scope(e), "slot", kSlotWidth, false),
+          static_cast<std::uint64_t>(e.value));
+      break;
+    case EventKind::Produce:
+      set(signal(bram_scope(e), "produce", 1, true), 1);
+      break;
+    case EventKind::Consume:
+      set(signal(bram_scope(e), "consume", 1, true), 1);
+      break;
+    case EventKind::RoundComplete:
+      break;  // a metrics-level notion; no waveform signal
+    case EventKind::FsmState:
+      set(signal("threads", std::string(e.thread) + "_state", kStateWidth,
+                 false),
+          static_cast<std::uint64_t>(e.value));
+      break;
+    case EventKind::ThreadBlock:
+      set(signal("threads", std::string(e.thread) + "_blocked", 1, false), 1);
+      break;
+    case EventKind::ThreadUnblock:
+      set(signal("threads", std::string(e.thread) + "_blocked", 1, false), 0);
+      break;
+  }
+}
+
+std::string VcdSink::id_code(std::size_t index) {
+  // Printable identifier alphabet '!'..'~' (94 symbols), little-endian.
+  std::string id;
+  do {
+    id += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+void VcdSink::finish(std::uint64_t final_cycle) {
+  (void)final_cycle;
+  flush_cycle();
+
+  out_.clear();
+  out_ += "$date\n  (cycle-level trace; timestamps are simulation cycles)\n"
+          "$end\n";
+  out_ += "$version\n  hicsync hic-trace\n$end\n";
+  out_ += "$timescale 1 ns $end\n";
+
+  // Scopes in order of first appearance.
+  std::vector<std::string> scopes;
+  for (const Signal& s : signals_) {
+    if (std::find(scopes.begin(), scopes.end(), s.scope) == scopes.end()) {
+      scopes.push_back(s.scope);
+    }
+  }
+  out_ += "$scope module hicsync $end\n";
+  for (const std::string& scope : scopes) {
+    out_ += "$scope module " + scope + " $end\n";
+    for (std::size_t i = 0; i < signals_.size(); ++i) {
+      const Signal& s = signals_[i];
+      if (s.scope != scope) continue;
+      std::string range =
+          s.width > 1 ? " [" + std::to_string(s.width - 1) + ":0]" : "";
+      out_ += "$var wire " + std::to_string(s.width) + " " + id_code(i) +
+              " " + s.name + range + " $end\n";
+    }
+    out_ += "$upscope $end\n";
+  }
+  out_ += "$upscope $end\n";
+  out_ += "$enddefinitions $end\n";
+
+  // Initial values: every signal starts at 0.
+  out_ += "$dumpvars\n";
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    const Signal& s = signals_[i];
+    if (s.width == 1) {
+      out_ += "0" + id_code(i) + "\n";
+    } else {
+      out_ += "b0 " + id_code(i) + "\n";
+    }
+  }
+  out_ += "$end\n";
+
+  // Merge all per-signal change lists into one time-ordered dump.
+  std::map<std::uint64_t,
+           std::vector<std::pair<std::size_t, std::uint64_t>>>
+      timeline;
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    for (const auto& [t, v] : signals_[i].changes) {
+      timeline[t].emplace_back(i, v);
+    }
+  }
+  for (const auto& [t, changes] : timeline) {
+    out_ += "#" + std::to_string(t) + "\n";
+    for (const auto& [i, v] : changes) {
+      const Signal& s = signals_[i];
+      if (s.width == 1) {
+        out_ += (v != 0 ? "1" : "0") + id_code(i) + "\n";
+      } else {
+        out_ += "b" + bin(v, s.width) + " " + id_code(i) + "\n";
+      }
+    }
+  }
+  out_ += "#" + std::to_string(cycle_ + 1) + "\n";
+}
+
+}  // namespace hicsync::trace

@@ -1,0 +1,61 @@
+// VCD (IEEE 1364 value-change-dump) waveform sink.
+//
+// Buffers the event stream and renders a standard VCD file at finish():
+// any waveform viewer (gtkwave, surfer, ...) can open the trace. Signal
+// naming (documented in docs/OBSERVABILITY.md):
+//
+//   hicsync/bram<N>/c_req<i>, c_grant<i>     consumer pseudo-port i
+//   hicsync/bram<N>/d_req<j>, d_grant<j>     producer pseudo-port j
+//   hicsync/bram<N>/a_grant                  port A ownership granted
+//   hicsync/bram<N>/slot[15:0]               event-driven selection slot
+//   hicsync/threads/<name>_state[31:0]       FSM state number
+//   hicsync/threads/<name>_blocked           stalling on the memory system
+//
+// Request/grant wires are pulse signals: high exactly in the cycles where
+// the corresponding event fired. State/slot/blocked are level signals.
+// One simulation cycle = one VCD timestep (timescale 1 ns).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/bus.h"
+
+namespace hicsync::trace {
+
+class VcdSink : public TraceSink {
+ public:
+  void on_cycle(std::uint64_t cycle) override;
+  void on_event(const Event& e) override;
+  void finish(std::uint64_t final_cycle) override;
+
+  /// The complete VCD document. Valid after finish().
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  struct Signal {
+    std::string scope;   // "bram0" | "threads"
+    std::string name;    // "c_req0" | "t2_state" ...
+    int width = 1;
+    bool pulse = false;  // deasserts every cycle unless re-pulsed
+    std::uint64_t value = 0;     // current value while collecting
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> changes;
+  };
+
+  Signal& signal(const std::string& scope, const std::string& name,
+                 int width, bool pulse);
+  void set(Signal& s, std::uint64_t value);
+  void flush_cycle();
+  [[nodiscard]] static std::string id_code(std::size_t index);
+
+  std::map<std::string, std::size_t> index_;  // "scope/name" -> signals_
+  std::vector<Signal> signals_;
+  std::map<std::size_t, std::uint64_t> pending_;  // pulses seen this cycle
+  std::uint64_t cycle_ = 0;
+  bool any_cycle_ = false;
+  std::string out_;
+};
+
+}  // namespace hicsync::trace

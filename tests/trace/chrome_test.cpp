@@ -1,0 +1,94 @@
+#include "trace/chrome.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/compiler.h"
+#include "netapp/scenarios.h"
+#include "trace/bus.h"
+
+namespace hicsync::trace {
+namespace {
+
+std::string chrome_for_figure1(sim::OrgKind kind) {
+  core::CompileOptions options;
+  options.organization = kind;
+  auto result = core::Compiler(options).compile(netapp::figure1_source());
+  EXPECT_TRUE(result->ok()) << result->diags().str();
+  auto simulator = result->make_simulator();
+  TraceBus bus;
+  ChromeTraceSink chrome;
+  bus.attach(&chrome);
+  simulator->set_trace(&bus);
+  EXPECT_TRUE(simulator->run_until_passes(1, 10000));
+  bus.finish(simulator->cycle());
+  return chrome.str();
+}
+
+// Trace names are identifiers and fixed strings, so no brace/bracket ever
+// appears inside a JSON string — balanced counts are a sound check.
+void expect_balanced(const std::string& doc) {
+  long braces = 0;
+  long brackets = 0;
+  for (char c : doc) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+class ChromeTraceBothOrgs : public ::testing::TestWithParam<sim::OrgKind> {};
+
+TEST_P(ChromeTraceBothOrgs, DocumentIsWellFormed) {
+  const std::string doc = chrome_for_figure1(GetParam());
+  EXPECT_EQ(doc.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(doc.find("\"displayTimeUnit\""), std::string::npos);
+  expect_balanced(doc);
+  // Track metadata for the thread/port/dependency process groups.
+  EXPECT_NE(doc.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);
+  // Figure 1's threads and dependency appear as track names.
+  EXPECT_NE(doc.find("\"t1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"t2\""), std::string::npos);
+  EXPECT_NE(doc.find("mt1"), std::string::npos);
+  // At least one complete span (FSM state or round) and one instant.
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothOrgs, ChromeTraceBothOrgs,
+                         ::testing::Values(sim::OrgKind::Arbitrated,
+                                           sim::OrgKind::EventDriven));
+
+TEST(ChromeTraceSinkTest, EmptyTraceIsStillValidJson) {
+  ChromeTraceSink chrome;
+  chrome.finish(0);
+  expect_balanced(chrome.str());
+  EXPECT_EQ(chrome.str().rfind("{\"traceEvents\":[", 0), 0u);
+}
+
+TEST(ChromeTraceSinkTest, StallInstantCarriesCause) {
+  ChromeTraceSink chrome;
+  Event e;
+  e.cycle = 3;
+  e.kind = EventKind::PortStall;
+  e.cause = StallCause::ArbitrationLoss;
+  e.port = PortKind::C;
+  e.controller = 0;
+  e.pseudo_port = 1;
+  e.thread = "t2";
+  chrome.on_event(e);
+  chrome.finish(4);
+  EXPECT_NE(chrome.str().find("arbitration-loss"), std::string::npos);
+  EXPECT_NE(chrome.str().find("\"t2\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hicsync::trace

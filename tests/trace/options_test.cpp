@@ -1,0 +1,49 @@
+#include "trace/options.h"
+
+#include <gtest/gtest.h>
+
+namespace hicsync::trace {
+namespace {
+
+TEST(TraceOptionsTest, ParsesEachKind) {
+  TraceOptions opts;
+  std::string error;
+  EXPECT_TRUE(parse_trace_spec("metrics", opts, &error)) << error;
+  EXPECT_TRUE(parse_trace_spec("vcd", opts, &error)) << error;
+  EXPECT_TRUE(parse_trace_spec("chrome", opts, &error)) << error;
+  EXPECT_TRUE(opts.metrics);
+  EXPECT_TRUE(opts.vcd);
+  EXPECT_TRUE(opts.chrome);
+  EXPECT_TRUE(opts.any());
+  EXPECT_TRUE(opts.metrics_out.empty());
+  EXPECT_TRUE(opts.vcd_out.empty());
+}
+
+TEST(TraceOptionsTest, ParsesOutPath) {
+  TraceOptions opts;
+  std::string error;
+  ASSERT_TRUE(parse_trace_spec("vcd,out=/tmp/x.vcd", opts, &error)) << error;
+  EXPECT_TRUE(opts.vcd);
+  EXPECT_EQ(opts.vcd_out, "/tmp/x.vcd");
+  ASSERT_TRUE(parse_trace_spec("metrics,out=m.json", opts, &error)) << error;
+  EXPECT_EQ(opts.metrics_out, "m.json");
+}
+
+TEST(TraceOptionsTest, RejectsUnknownKind) {
+  TraceOptions opts;
+  std::string error;
+  EXPECT_FALSE(parse_trace_spec("waveform", opts, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(opts.any());
+}
+
+TEST(TraceOptionsTest, RejectsMalformedOption) {
+  TraceOptions opts;
+  std::string error;
+  EXPECT_FALSE(parse_trace_spec("vcd,depth=3", opts, &error));
+  EXPECT_FALSE(parse_trace_spec("", opts, &error));
+  EXPECT_FALSE(parse_trace_spec("vcd,out=", opts, &error));
+}
+
+}  // namespace
+}  // namespace hicsync::trace
