@@ -4,11 +4,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "bench_gbench_util.h"
 #include "core/compiler.h"
 #include "fpga/techmap.h"
 #include "hic/parser.h"
 #include "netapp/scenarios.h"
+#include "perf/profile.h"
 #include "rtl/verilog.h"
 
 using namespace hicsync;
@@ -33,6 +37,33 @@ static void BM_FullCompileFanout(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullCompileFanout)->Arg(2)->Arg(4)->Arg(8);
+
+// The same compile with the hic-perf pass profiler attached — the delta
+// against BM_FullCompileFanout/8 is the cost of `hicc --profile`.
+static void BM_FullCompileFanoutProfiled(benchmark::State& state) {
+  const std::string src =
+      netapp::fanout_source(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    perf::PassTimer timer;
+    core::CompileOptions options;
+    options.profiler = &timer;
+    core::Compiler compiler(options);
+    auto r = compiler.compile(src);
+    benchmark::DoNotOptimize(r->ok());
+    benchmark::DoNotOptimize(timer.total_wall_ns());
+  }
+}
+BENCHMARK(BM_FullCompileFanoutProfiled)->Arg(8);
+
+// Cost of one disabled ScopedPhase bracket (the default path every
+// Compiler::compile pays): a null-check on entry and exit.
+static void BM_ScopedPhaseDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    perf::ScopedPhase phase(nullptr, "off");
+    benchmark::DoNotOptimize(&phase);
+  }
+}
+BENCHMARK(BM_ScopedPhaseDisabled);
 
 static void BM_GenerateArbitrated(benchmark::State& state) {
   memorg::ArbitratedConfig cfg;
@@ -77,4 +108,30 @@ static void BM_EmitVerilog(benchmark::State& state) {
 }
 BENCHMARK(BM_EmitVerilog);
 
-HICSYNC_BENCHMARK_MAIN("compile")
+// Asserted invariant (ISSUE 3 / docs/OBSERVABILITY.md): with no profiler
+// attached, a ScopedPhase bracket is a single branch — it must not cost
+// measurably more than a handful of ns even under sanitizers-off debug
+// builds. Run before the benchmarks so a violation fails the binary.
+static bool assert_disabled_profiler_is_a_branch() {
+  constexpr int kIters = 1 << 20;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    perf::ScopedPhase phase(nullptr, "off");
+    benchmark::DoNotOptimize(&phase);
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  const double ns_per =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() / kIters;
+  // A clock read alone is ~20ns; a branch pair is well under 5ns. 10ns
+  // keeps the assertion robust on loaded CI machines while still
+  // catching an accidental unconditional steady_clock::now().
+  const bool ok = ns_per < 10.0;
+  std::printf("disabled ScopedPhase: %.2f ns per bracket (limit 10) — %s\n",
+              ns_per, ok ? "ok" : "FAIL");
+  return ok;
+}
+
+int main(int argc, char** argv) {
+  if (!assert_disabled_profiler_is_a_branch()) return 1;
+  return hicsync::bench::run_gbench_with_json(argc, argv, "compile");
+}

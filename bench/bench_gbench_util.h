@@ -2,7 +2,8 @@
 // BENCHMARK_MAIN() except that, unless the caller passed --benchmark_out
 // themselves, results are also written to `BENCH_<name>.json` (google
 // benchmark's JSON reporter) — the same machine-readable convention the
-// table benches follow via JsonBenchReport.
+// table benches follow via JsonBenchReport (support::JsonWriter format).
+// perf::HistoryStore ingests both shapes into the bench-history store.
 #pragma once
 
 #include <benchmark/benchmark.h>

@@ -12,18 +12,24 @@
 
 #include "memorg/arbitrated.h"
 #include "memorg/eventdriven.h"
+#include "support/json.h"
 
 namespace hicsync::bench {
 
 /// Flat key→value result file: `BENCH_<name>.json` in the working
 /// directory, one object, insertion-ordered keys. The human-readable table
-/// stays on stdout; this is the CI/plotting interface.
+/// stays on stdout; this is the CI/plotting interface —
+/// `perf::HistoryStore` (and `hic-report`) ingest these files.
+/// Serialization and escaping live in support::JsonWriter, shared with the
+/// history store; values are kept preformatted so the emitted number
+/// format (%.4f doubles) stays stable across runs.
 class JsonBenchReport {
  public:
   explicit JsonBenchReport(std::string name) : name_(std::move(name)) {}
 
   void set(const std::string& key, const std::string& value) {
-    entries_.emplace_back(key, "\"" + escape(value) + "\"");
+    entries_.emplace_back(key,
+                          "\"" + support::json_escape(value) + "\"");
   }
   void set(const std::string& key, const char* value) {
     set(key, std::string(value));
@@ -64,28 +70,16 @@ class JsonBenchReport {
   }
 
   [[nodiscard]] std::string str() const {
-    std::string s = "{\n  \"bench\": \"" + escape(name_) + "\"";
+    support::JsonWriter w;
+    w.begin_object().key("bench").value(name_);
     for (const auto& [key, value] : entries_) {
-      s += ",\n  \"" + escape(key) + "\": " + value;
+      w.key(key).raw(value);
     }
-    s += "\n}\n";
-    return s;
+    w.end_object();
+    return w.str() + "\n";
   }
 
  private:
-  static std::string escape(const std::string& in) {
-    std::string out;
-    for (char c : in) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      if (c == '\n') {
-        out += "\\n";
-      } else {
-        out.push_back(c);
-      }
-    }
-    return out;
-  }
-
   std::string name_;
   std::vector<std::pair<std::string, std::string>> entries_;
 };

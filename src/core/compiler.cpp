@@ -12,6 +12,31 @@
 
 namespace hicsync::core {
 
+namespace {
+
+std::uint64_t count_statements(const std::vector<hic::StmtPtr>& body);
+
+std::uint64_t count_statements(const hic::Stmt& s) {
+  std::uint64_t n = 1;
+  n += count_statements(s.then_body);
+  n += count_statements(s.else_body);
+  n += count_statements(s.body);
+  for (const hic::CaseArm& arm : s.arms) n += count_statements(arm.body);
+  if (s.init) n += count_statements(*s.init);
+  if (s.step) n += count_statements(*s.step);
+  return n;
+}
+
+std::uint64_t count_statements(const std::vector<hic::StmtPtr>& body) {
+  std::uint64_t n = 0;
+  for (const hic::StmtPtr& s : body) {
+    if (s) n += count_statements(*s);
+  }
+  return n;
+}
+
+}  // namespace
+
 const synth::ThreadFsm* CompileResult::fsm(const std::string& thread) const {
   for (const auto& f : fsms_) {
     if (f.thread_name() == thread) return &f;
@@ -75,26 +100,52 @@ std::unique_ptr<CompileResult> Compiler::compile(
   r.options_ = options_;
   r.diags_.set_source_name(options_.source_name);
 
-  // Front end.
-  r.program_ = hic::parse_source(source, r.diags_);
+  // hic-perf: each pass is bracketed below; with no profiler attached the
+  // brackets cost one branch each (bench_compile asserts this).
+  perf::PassTimer* prof = options_.profiler;
+
+  // Front end. Lexing happens inside the parser, so "parse" covers both.
+  {
+    perf::ScopedPhase phase(prof, "parse");
+    r.program_ = hic::parse_source(source, r.diags_);
+  }
+  if (prof != nullptr) {
+    prof->set_count("ast.threads", r.program_.threads.size());
+    std::uint64_t stmts = 0;
+    for (const hic::ThreadDecl& t : r.program_.threads) {
+      stmts += count_statements(t.body);
+    }
+    prof->set_count("ast.statements", stmts);
+  }
   if (r.diags_.has_errors()) return result;
   if (options_.infer_dependencies) {
+    perf::ScopedPhase phase(prof, "infer");
     hic::infer_dependencies(r.program_, r.diags_);
     if (r.diags_.has_errors()) return result;
   }
-  r.sema_ = std::make_unique<hic::Sema>(r.program_, r.diags_);
-  if (!r.sema_->run()) return result;
+  {
+    perf::ScopedPhase phase(prof, "sema");
+    r.sema_ = std::make_unique<hic::Sema>(r.program_, r.diags_);
+    if (!r.sema_->run()) return result;
+  }
+  if (prof != nullptr) {
+    prof->set_count("ast.dependencies", r.sema_->dependencies().size());
+  }
 
   // Static deadlock detection (§1: "deadlocks are identified statically").
-  auto depgraph = analysis::ThreadDepGraph::build(r.program_,
-                                                  r.sema_->dependencies());
-  r.deadlock_warnings_ = depgraph.deadlock_reports();
+  {
+    perf::ScopedPhase phase(prof, "deadlock");
+    auto depgraph = analysis::ThreadDepGraph::build(r.program_,
+                                                    r.sema_->dependencies());
+    r.deadlock_warnings_ = depgraph.deadlock_reports();
+  }
 
   // hic-lint, stage 1: AST/CFG/dependence-level hazard checks.
   namespace lint = analysis::lint;
   std::unique_ptr<lint::LintContext> lint_ctx;
   lint::LintDriver lint_driver(options_.lint, r.diags_);
   if (options_.lint.enabled) {
+    perf::ScopedPhase phase(prof, "lint");
     lint_ctx = std::make_unique<lint::LintContext>(r.program_, *r.sema_);
     lint::LintDriver::Summary s =
         lint_driver.run(lint::Stage::PostSema, *lint_ctx);
@@ -103,19 +154,31 @@ std::unique_ptr<CompileResult> Compiler::compile(
   }
 
   // Behavioural synthesis + scheduling.
-  for (const hic::ThreadDecl& t : r.program_.threads) {
-    synth::ThreadFsm fsm = synth::ThreadFsm::synthesize(t, *r.sema_);
-    synth::schedule(fsm, options_.schedule);
-    r.fsms_.push_back(std::move(fsm));
+  {
+    perf::ScopedPhase phase(prof, "synth");
+    for (const hic::ThreadDecl& t : r.program_.threads) {
+      synth::ThreadFsm fsm = synth::ThreadFsm::synthesize(t, *r.sema_);
+      synth::schedule(fsm, options_.schedule);
+      r.fsms_.push_back(std::move(fsm));
+    }
+  }
+  if (prof != nullptr) {
+    std::uint64_t states = 0;
+    for (const synth::ThreadFsm& f : r.fsms_) states += f.states().size();
+    prof->set_count("synth.fsm_states", states);
   }
 
   // Memory allocation and port planning.
-  r.map_ = memalloc::Allocator(options_.allocator).allocate(*r.sema_);
-  r.plans_ = memalloc::PortPlanner::plan(*r.sema_, r.map_, r.fsms_);
+  {
+    perf::ScopedPhase phase(prof, "memalloc");
+    r.map_ = memalloc::Allocator(options_.allocator).allocate(*r.sema_);
+    r.plans_ = memalloc::PortPlanner::plan(*r.sema_, r.map_, r.fsms_);
+  }
 
   // hic-lint, stage 2: port-pressure and capacity findings, surfaced here
   // instead of as failures inside the generators.
   if (options_.lint.enabled) {
+    perf::ScopedPhase phase(prof, "lint");
     lint_ctx->attach_memory(&r.map_, &r.plans_);
     lint::LintDriver::Summary s =
         lint_driver.run(lint::Stage::PreGenerate, *lint_ctx);
@@ -141,23 +204,39 @@ std::unique_ptr<CompileResult> Compiler::compile(
     report.producers = plan->producer_pseudo_ports();
     report.dependencies = static_cast<int>(bram.dependencies.size());
     report.module_name = "memorg_bram" + std::to_string(bram.id);
-    if (options_.organization == sim::OrgKind::Arbitrated) {
-      memorg::ArbitratedConfig cfg =
-          memorg::arbitrated_config_from(bram, *plan);
-      cfg.use_cam = options_.use_cam;
-      rtl::Module& m =
-          memorg::generate_arbitrated(r.design_, cfg, report.module_name);
-      report.area = mapper.map(m);
-    } else {
-      memorg::EventDrivenConfig cfg =
-          memorg::eventdriven_config_from(bram, *plan);
-      rtl::Module& m =
-          memorg::generate_eventdriven(r.design_, cfg, report.module_name);
-      report.area = mapper.map(m);
+    rtl::Module* m = nullptr;
+    {
+      perf::ScopedPhase phase(prof, "memorg");
+      if (options_.organization == sim::OrgKind::Arbitrated) {
+        memorg::ArbitratedConfig cfg =
+            memorg::arbitrated_config_from(bram, *plan);
+        cfg.use_cam = options_.use_cam;
+        m = &memorg::generate_arbitrated(r.design_, cfg, report.module_name);
+      } else {
+        memorg::EventDrivenConfig cfg =
+            memorg::eventdriven_config_from(bram, *plan);
+        m = &memorg::generate_eventdriven(r.design_, cfg, report.module_name);
+      }
     }
-    report.timing = fpga::estimate_timing(report.area,
-                                          /*launches_from_bram=*/false);
+    {
+      perf::ScopedPhase phase(prof, "techmap");
+      report.area = mapper.map(*m);
+    }
+    {
+      perf::ScopedPhase phase(prof, "timing");
+      report.timing = fpga::estimate_timing(report.area,
+                                            /*launches_from_bram=*/false);
+    }
     r.bram_reports_.push_back(std::move(report));
+  }
+  if (prof != nullptr) {
+    std::uint64_t nets = 0;
+    for (const auto& module : r.design_.modules()) nets += module->nets().size();
+    prof->set_count("netlist.modules", r.design_.modules().size());
+    prof->set_count("netlist.nets", nets);
+    fpga::MapResult total = r.total_overhead();
+    prof->set_count("netlist.luts", static_cast<std::uint64_t>(total.luts));
+    prof->set_count("netlist.ffs", static_cast<std::uint64_t>(total.ffs));
   }
 
   r.ok_ = true;

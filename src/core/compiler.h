@@ -16,6 +16,7 @@
 #include "hic/sema.h"
 #include "memalloc/allocator.h"
 #include "memalloc/portplan.h"
+#include "perf/profile.h"
 #include "rtl/netlist.h"
 #include "sim/system.h"
 #include "support/diagnostics.h"
@@ -40,6 +41,12 @@ struct CompileOptions {
   /// Name stamped onto diagnostics (and json output); typically the path
   /// the driver read the source from.
   std::string source_name;
+  /// hic-perf pass profiler (not owned; must outlive compile()). When
+  /// set, every pass is bracketed with a ScopedPhase and AST/netlist node
+  /// counts plus pass wall times accumulate into it; when null — the
+  /// default — instrumentation costs one branch per pass
+  /// (`hicc --profile`, see docs/OBSERVABILITY.md).
+  perf::PassTimer* profiler = nullptr;
 };
 
 /// Area/timing report for one generated memory-organization controller.

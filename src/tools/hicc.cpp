@@ -14,13 +14,19 @@
 //   --target-mhz <f>                timing target for the report
 //   --max-cycles <n>                simulation budget (default 100000)
 //
-// Observability (hic-trace; see docs/OBSERVABILITY.md):
+// Observability (hic-trace / hic-perf; see docs/OBSERVABILITY.md):
 //   --trace=kind[,out=PATH]         attach a trace sink to the simulation;
 //                                   kind is metrics|vcd|chrome, repeatable.
 //                                   Implies --simulate 1 when --simulate is
 //                                   absent. Default outputs: metrics to
 //                                   stdout, vcd to <input stem>.vcd, chrome
 //                                   to <input stem>.trace.json
+//   --profile[=out.json]            profile the compiler itself: per-pass
+//                                   wall time, peak RSS and AST/netlist
+//                                   node counts. Text report to stdout; the
+//                                   =out.json form writes JSON instead.
+//                                   Composes with --trace and --lint-only
+//                                   (the profile still prints on exit 4)
 //
 // Static analysis (hic-lint; see docs/DIAGNOSTICS.md for the check
 // catalogue):
@@ -50,6 +56,7 @@
 #include "core/compiler.h"
 #include "core/tbgen.h"
 #include "core/tracerun.h"
+#include "perf/profile.h"
 #include "trace/options.h"
 
 using namespace hicsync;
@@ -66,6 +73,7 @@ constexpr const char* kUsageBody =
     "  --report | --no-report\n"
     "  --simulate <passes>\n"
     "  --trace=metrics|vcd|chrome[,out=PATH]   (repeatable)\n"
+    "  --profile[=out.json]\n"
     "  --chain\n"
     "  --no-cam\n"
     "  --infer\n"
@@ -105,6 +113,9 @@ int main(int argc, char** argv) {
   int simulate_passes = 0;
   std::uint64_t max_cycles = 100000;
   trace::TraceOptions trace_opts;
+  bool profile = false;
+  std::string profile_out;
+  perf::PassTimer profiler;
 
   auto known_check = [](const std::string& id) {
     return analysis::lint::LintRegistry::builtin().find(id) != nullptr;
@@ -149,6 +160,15 @@ int main(int argc, char** argv) {
       if (!trace::parse_trace_spec(spec, trace_opts, &error)) {
         std::fprintf(stderr, "bad --trace spec '%s': %s\n", spec.c_str(),
                      error.c_str());
+        return 2;
+      }
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile = true;
+      profile_out = arg.substr(std::strlen("--profile="));
+      if (profile_out.empty()) {
+        std::fprintf(stderr, "--profile= needs an output path\n");
         return 2;
       }
     } else if (arg == "--chain") {
@@ -248,6 +268,7 @@ int main(int argc, char** argv) {
     options.source_name = input;
   }
 
+  if (profile) options.profiler = &profiler;
   core::Compiler compiler(options);
   auto result = compiler.compile(source);
 
@@ -259,6 +280,24 @@ int main(int argc, char** argv) {
   } else if (!result->diags().diagnostics().empty()) {
     std::fprintf(stderr, "%s", result->diags().str().c_str());
   }
+
+  // The profile prints for every completed compile() — including failed
+  // compiles and --lint-only runs that will exit 4 below; a profile of the
+  // front end alone is still a profile.
+  if (profile) {
+    if (profile_out.empty()) {
+      std::printf("%s", profiler.text().c_str());
+    } else {
+      std::ofstream out(profile_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", profile_out.c_str());
+        return 2;
+      }
+      out << profiler.json();
+      std::printf("wrote %s\n", profile_out.c_str());
+    }
+  }
+
   if (!result->ok()) return 1;
 
   if (report) {

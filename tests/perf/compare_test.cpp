@@ -1,0 +1,133 @@
+// Satellite: regression-detection coverage — synthetic histories covering
+// improvement, regression above/below threshold, missing baseline and
+// schema-version skew, asserting perf::compare_runs verdicts (the matching
+// hic-report exit codes are asserted by the ctest entries in
+// tests/perf/CMakeLists.txt).
+#include "perf/compare.h"
+
+#include <gtest/gtest.h>
+
+namespace hicsync::perf {
+namespace {
+
+BenchRun make_run(double value, const char* key = "t.real_time_ns",
+                  int schema = kHistorySchemaVersion) {
+  BenchRun run;
+  run.bench = "demo";
+  run.schema = schema;
+  run.metrics[key] = value;
+  return run;
+}
+
+std::vector<BenchRun> runs(std::initializer_list<double> values) {
+  std::vector<BenchRun> out;
+  for (double v : values) out.push_back(make_run(v));
+  return out;
+}
+
+TEST(CompareRuns, MissingBaseline) {
+  EXPECT_EQ(compare_runs({}).overall, Verdict::MissingBaseline);
+  EXPECT_EQ(compare_runs(runs({100.0})).overall, Verdict::MissingBaseline);
+}
+
+TEST(CompareRuns, StableWithinThreshold) {
+  // +2% on a 5% default threshold: below the gate.
+  CompareResult r = compare_runs(runs({100, 101, 99, 100, 102}));
+  EXPECT_EQ(r.overall, Verdict::Stable);
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_EQ(r.deltas[0].verdict, Verdict::Stable);
+  EXPECT_NEAR(r.deltas[0].baseline_median, 100.0, 1e-9);
+}
+
+TEST(CompareRuns, RegressionAboveThreshold) {
+  // Latest is +30% over a tight baseline of a lower-is-better metric.
+  CompareResult r = compare_runs(runs({100, 101, 99, 100, 130}));
+  EXPECT_EQ(r.overall, Verdict::Regression);
+  ASSERT_EQ(r.regressions().size(), 1u);
+  EXPECT_NEAR(r.regressions()[0]->delta_pct, 30.0, 0.5);
+}
+
+TEST(CompareRuns, ImprovementInGoodDirection) {
+  CompareResult r = compare_runs(runs({100, 101, 99, 100, 60}));
+  EXPECT_EQ(r.overall, Verdict::Improvement);
+  EXPECT_TRUE(r.regressions().empty());
+}
+
+TEST(CompareRuns, HigherIsBetterDirectionFlips) {
+  std::vector<BenchRun> history;
+  for (double v : {150.0, 151.0, 149.0, 150.0, 100.0}) {
+    history.push_back(make_run(v, "c2.eventdriven_fmax_mhz"));
+  }
+  CompareResult r = compare_runs(history);
+  // Fmax dropping by a third is a regression even though the value went
+  // "down".
+  EXPECT_EQ(r.overall, Verdict::Regression);
+
+  for (auto& run : history) run.metrics["c2.eventdriven_fmax_mhz"] += 100.0;
+  history.back().metrics["c2.eventdriven_fmax_mhz"] = 400.0;
+  EXPECT_EQ(compare_runs(history).overall, Verdict::Improvement);
+}
+
+TEST(CompareRuns, MadWidensNoisyBaseline) {
+  // Baseline noise spans ±20%; +15% on the latest must not trip the gate
+  // even though it exceeds the 5% default threshold.
+  CompareResult r = compare_runs(runs({80, 120, 90, 110, 100, 85, 115}));
+  EXPECT_EQ(r.overall, Verdict::Stable);
+}
+
+TEST(CompareRuns, ThresholdTableOverride) {
+  CompareOptions options;
+  options.threshold_pct["t.real_time_ns"] = 50.0;
+  EXPECT_EQ(compare_runs(runs({100, 101, 99, 100, 130}), options).overall,
+            Verdict::Stable);
+  options.threshold_pct["t.real_time_ns"] = 1.0;
+  options.mad_sigmas = 0.0;
+  EXPECT_EQ(compare_runs(runs({100, 101, 99, 100, 103}), options).overall,
+            Verdict::Regression);
+}
+
+TEST(CompareRuns, SchemaSkewRefusesToCompare) {
+  std::vector<BenchRun> history = runs({100, 101, 100});
+  history.push_back(make_run(100.0, "t.real_time_ns",
+                             kHistorySchemaVersion + 1));
+  EXPECT_EQ(compare_runs(history).overall, Verdict::SchemaSkew);
+
+  // All-old-schema history is skew too: the reader can't vouch for the
+  // record semantics.
+  std::vector<BenchRun> old;
+  for (double v : {100.0, 101.0, 100.0}) {
+    old.push_back(make_run(v, "t.real_time_ns", kHistorySchemaVersion + 1));
+  }
+  EXPECT_EQ(compare_runs(old).overall, Verdict::SchemaSkew);
+}
+
+TEST(CompareRuns, NewMetricHasNoBaselineAndIsSkipped) {
+  std::vector<BenchRun> history = runs({100, 100, 100});
+  history.back().metrics["brand_new"] = 5.0;
+  CompareResult r = compare_runs(history);
+  EXPECT_EQ(r.overall, Verdict::Stable);
+  for (const MetricDelta& d : r.deltas) EXPECT_NE(d.key, "brand_new");
+}
+
+TEST(CompareRuns, BooleanShapeFlagRegression) {
+  // shape_ok going 1 -> 0 (FF no longer constant) is a regression: the
+  // key matches the higher-is-better "_ok" heuristic.
+  std::vector<BenchRun> history;
+  for (double v : {1.0, 1.0, 1.0, 0.0}) {
+    history.push_back(make_run(v, "shape_ok"));
+  }
+  EXPECT_EQ(compare_runs(history).overall, Verdict::Regression);
+}
+
+TEST(DefaultDirection, Heuristics) {
+  EXPECT_EQ(default_direction("BM_Parse.real_time_ns"),
+            Direction::LowerIsBetter);
+  EXPECT_EQ(default_direction("c2.luts"), Direction::LowerIsBetter);
+  EXPECT_EQ(default_direction("c2.arbitrated_fmax_mhz"),
+            Direction::HigherIsBetter);
+  EXPECT_EQ(default_direction("shape_ok"), Direction::HigherIsBetter);
+  EXPECT_EQ(default_direction("overhead_pct"), Direction::LowerIsBetter);
+}
+
+}  // namespace
+}  // namespace hicsync::perf

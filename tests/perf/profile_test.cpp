@@ -1,0 +1,132 @@
+// PassTimer threaded through core::Compiler: the acceptance path behind
+// `hicc --profile` — per-pass wall time, node counts and both renderers.
+#include "perf/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "netapp/scenarios.h"
+#include "support/json.h"
+
+namespace hicsync::perf {
+namespace {
+
+const PassTimer::Phase* find_phase(const PassTimer& timer,
+                                   const std::string& name) {
+  for (const PassTimer::Phase& p : timer.phases()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::uint64_t count_of(const PassTimer& timer, const std::string& name) {
+  for (const auto& [key, value] : timer.counts()) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+TEST(PassTimer, AccumulatesAndOrdersPhases) {
+  PassTimer timer;
+  timer.add("parse", 100);
+  timer.add("sema", 50);
+  timer.add("techmap", 10);
+  timer.add("techmap", 15);  // re-entered per controller: accumulates
+  ASSERT_EQ(timer.phases().size(), 3u);
+  EXPECT_EQ(timer.phases()[0].name, "parse");
+  EXPECT_EQ(timer.phases()[2].name, "techmap");
+  EXPECT_EQ(timer.phases()[2].wall_ns, 25u);
+  EXPECT_EQ(timer.phases()[2].calls, 2u);
+  EXPECT_EQ(timer.total_wall_ns(), 175u);
+}
+
+TEST(PassTimer, ScopedPhaseRecordsOnlyWhenAttached) {
+  PassTimer timer;
+  { ScopedPhase phase(&timer, "work"); }
+  { ScopedPhase phase(nullptr, "ignored"); }
+  ASSERT_EQ(timer.phases().size(), 1u);
+  EXPECT_EQ(timer.phases()[0].name, "work");
+}
+
+TEST(PassTimer, CompilerRecordsEveryPipelinePass) {
+  PassTimer timer;
+  core::CompileOptions options;
+  options.profiler = &timer;
+  options.lint.enabled = true;
+  auto result = core::Compiler(options).compile(netapp::figure1_source());
+  ASSERT_TRUE(result->ok());
+
+  for (const char* pass :
+       {"parse", "sema", "deadlock", "lint", "synth", "memalloc", "memorg",
+        "techmap", "timing"}) {
+    EXPECT_NE(find_phase(timer, pass), nullptr) << "missing pass " << pass;
+  }
+  EXPECT_GT(timer.total_wall_ns(), 0u);
+
+  // Node counts mirror the figure-1 program and its netlist.
+  EXPECT_EQ(count_of(timer, "ast.threads"), result->program().threads.size());
+  EXPECT_GT(count_of(timer, "ast.statements"), 0u);
+  EXPECT_GT(count_of(timer, "netlist.nets"), 0u);
+  EXPECT_GT(count_of(timer, "netlist.luts"), 0u);
+  EXPECT_EQ(count_of(timer, "netlist.ffs"),
+            static_cast<std::uint64_t>(result->total_overhead().ffs));
+}
+
+TEST(PassTimer, UnprofiledCompileLeavesTimerUntouched) {
+  PassTimer timer;
+  auto result = core::Compiler().compile(netapp::figure1_source());
+  ASSERT_TRUE(result->ok());
+  EXPECT_TRUE(timer.phases().empty());
+}
+
+TEST(PassTimer, TextReportListsPassesAndRss) {
+  PassTimer timer;
+  timer.add("parse", 2'000'000);
+  timer.set_count("ast.threads", 3);
+  const std::string text = timer.text();
+  EXPECT_NE(text.find("parse"), std::string::npos);
+  EXPECT_NE(text.find("ast.threads"), std::string::npos);
+  EXPECT_NE(text.find("peak RSS"), std::string::npos);
+}
+
+TEST(PassTimer, JsonReportParsesAndEmbedsRegistry) {
+  PassTimer timer;
+  timer.add("parse", 1000);
+  timer.add("sema", 3000);
+  timer.set_count("ast.threads", 2);
+
+  support::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(support::parse_json(timer.json(), &doc, &error)) << error;
+  const support::JsonValue* passes = doc.find("passes");
+  ASSERT_NE(passes, nullptr);
+  ASSERT_EQ(passes->elements.size(), 2u);
+  EXPECT_EQ(passes->elements[0].find("name")->string_value, "parse");
+  EXPECT_DOUBLE_EQ(passes->elements[0].find("wall_ns")->number_value, 1000.0);
+  EXPECT_DOUBLE_EQ(doc.find("total_wall_ns")->number_value, 4000.0);
+  EXPECT_DOUBLE_EQ(doc.find("nodes")->find("ast.threads")->number_value, 2.0);
+  EXPECT_GE(doc.find("peak_rss_bytes")->number_value, 0.0);
+  // The trace::MetricsRegistry rendering rides along for --trace parity.
+  const support::JsonValue* registry = doc.find("registry");
+  ASSERT_NE(registry, nullptr);
+  EXPECT_FALSE(registry->is_null());
+}
+
+TEST(PassTimer, RegistryExposesTraceMetricSeries) {
+  PassTimer timer;
+  timer.add("parse", 5'000);  // 5 us
+  timer.set_count("netlist.nets", 42);
+  trace::MetricsRegistry registry = timer.registry();
+  const std::string json = registry.json();
+  EXPECT_NE(json.find("pass.parse.wall_us"), std::string::npos);
+  EXPECT_NE(json.find("nodes.netlist.nets"), std::string::npos);
+  EXPECT_NE(json.find("mem.peak_rss_kb"), std::string::npos);
+}
+
+TEST(PeakRss, ReportsAPlausiblyLargeValue) {
+  // Any real process has at least a MiB resident.
+  EXPECT_GT(peak_rss_bytes(), 1024u * 1024u);
+}
+
+}  // namespace
+}  // namespace hicsync::perf
