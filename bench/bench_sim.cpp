@@ -15,6 +15,7 @@
 #include "bench_gbench_util.h"
 #include "bench_util.h"
 #include "core/compiler.h"
+#include "cover/sink.h"
 #include "netapp/scenarios.h"
 #include "trace/bus.h"
 
@@ -78,6 +79,29 @@ static void BM_SystemSimCyclesEmptyTraceBus(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SystemSimCyclesEmptyTraceBus);
+
+// The attached-sink cost of functional coverage: every event becomes a
+// string-keyed bin lookup, so this bounds what `hicc --cover` adds on top
+// of an untraced run (the zero-cost-when-off claim is the check below —
+// coverage off must stay on the branch-only path).
+static void BM_SystemSimCyclesCoverageSink(benchmark::State& state) {
+  auto result = core::Compiler().compile(netapp::fanout_source(4));
+  const cover::ModelInputs inputs = cover::inputs_from(
+      result->options().organization, result->fsms(), result->memory_map(),
+      result->port_plans());
+  cover::CoverageModel model;
+  cover::declare_model(cover::CoverRegistry::builtin(), inputs, model);
+  cover::CoverageSink sink(model, inputs);
+  auto simulator = result->make_simulator();
+  trace::TraceBus bus;
+  bus.attach(&sink);
+  simulator->set_trace(&bus);
+  for (auto _ : state) {
+    simulator->step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SystemSimCyclesCoverageSink);
 
 namespace {
 

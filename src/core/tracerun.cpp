@@ -2,6 +2,10 @@
 
 #include <memory>
 
+#include "cover/db.h"
+#include "cover/registry.h"
+#include "cover/report.h"
+#include "cover/sink.h"
 #include "support/strings.h"
 #include "trace/bus.h"
 #include "trace/chrome.h"
@@ -30,6 +34,19 @@ TraceRunResult run_traced(const CompileResult& result,
     chrome = std::make_unique<trace::ChromeTraceSink>();
     bus.attach(chrome.get());
   }
+  cover::CoverageModel cover_model;
+  cover::ModelInputs cover_inputs;
+  std::unique_ptr<cover::CoverageSink> cover_sink;
+  if (options.cover) {
+    cover_inputs = cover::inputs_from(result.options().organization,
+                                      result.fsms(), result.memory_map(),
+                                      result.port_plans());
+    cover::declare_model(cover::CoverRegistry::builtin(), cover_inputs,
+                         cover_model);
+    cover_sink = std::make_unique<cover::CoverageSink>(cover_model,
+                                                       cover_inputs);
+    bus.attach(cover_sink.get());
+  }
 
   auto simulator = result.make_simulator();
   simulator->set_trace(&bus);
@@ -44,6 +61,12 @@ TraceRunResult run_traced(const CompileResult& result,
   }
   if (vcd != nullptr) out.vcd = vcd->str();
   if (chrome != nullptr) out.chrome_json = chrome->str();
+  if (cover_sink != nullptr) {
+    out.cover_text = cover::emit_report_md(cover_model);
+    out.cover_record = cover::to_record(
+        cover_model, options.cover_run_id,
+        cover::org_prefix(result.options().organization));
+  }
   out.stall_report = simulator->stall_report();
 
   for (const sim::DepRound& round : simulator->rounds()) {

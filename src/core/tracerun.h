@@ -18,6 +18,12 @@ struct TraceRunOptions {
   trace::TraceOptions sinks;
   int passes = 1;
   std::uint64_t max_cycles = 100000;
+  /// Attach a cover::CoverageSink: declare the full covergroup model for
+  /// the compiled program, record hits, and render the coverage report
+  /// plus one appendable JSONL DB record (`hicc --cover`).
+  bool cover = false;
+  /// Stamped into the coverage DB record (e.g. "fig1@arbitrated").
+  std::string cover_run_id;
 };
 
 /// Everything a traced run produces. Artifact strings are only filled for
@@ -34,6 +40,10 @@ struct TraceRunResult {
   std::string stall_report;
   /// The same produce→consume round summary `hicc --simulate` prints.
   std::string rounds_text;
+  /// Markdown coverage report of this single run (options.cover).
+  std::string cover_text;
+  /// One JSONL coverage-DB record, no trailing newline (options.cover).
+  std::string cover_record;
 };
 
 /// Runs `result`'s program for `passes` passes with the requested trace

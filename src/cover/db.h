@@ -1,0 +1,46 @@
+// The append-only coverage database.
+//
+// One run with `hicc --cover=DB.jsonl` appends one JSONL record: the full
+// declared model with per-bin hit counts — zero-hit bins included, so
+// holes survive serialization and merging. `hic-cover` loads any number
+// of records/files and merges them (union of groups and bins, hits sum),
+// which is what makes coverage a cross-run ledger rather than a single-run
+// report. Schema:
+//
+//   {"schema":1,"run_id":"fig1@arbitrated","organization":"arbitrated",
+//    "groups":[{"name":"arbitrated.fsm.state","description":"...",
+//               "unexpected":0,"bins":[["t1.S0",12],["t1.S1",0],...]},...]}
+#pragma once
+
+#include <string>
+
+#include "cover/model.h"
+#include "support/json.h"
+
+namespace hicsync::cover {
+
+inline constexpr int kCoverageSchemaVersion = 1;
+
+/// Serializes a model as one compact JSONL record (no trailing newline).
+[[nodiscard]] std::string to_record(const CoverageModel& model,
+                                    const std::string& run_id,
+                                    const std::string& organization);
+
+/// Merges one parsed record into `out`. False (with `error`) on schema
+/// mismatch or malformed structure; `out` is unchanged on failure.
+[[nodiscard]] bool record_to_model(const support::JsonValue& record,
+                                   CoverageModel* out,
+                                   std::string* error = nullptr);
+
+/// Parses JSONL text and merges every record into `out`. `records`, when
+/// given, receives the number of records merged.
+[[nodiscard]] bool load_records(std::string_view text, CoverageModel* out,
+                                std::string* error = nullptr,
+                                int* records = nullptr);
+
+/// Reads and merges one coverage DB file. False on I/O or parse errors.
+[[nodiscard]] bool load_file(const std::string& path, CoverageModel* out,
+                             std::string* error = nullptr,
+                             int* records = nullptr);
+
+}  // namespace hicsync::cover

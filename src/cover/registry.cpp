@@ -1,0 +1,369 @@
+#include "cover/registry.h"
+
+#include <algorithm>
+#include <set>
+
+namespace hicsync::cover {
+
+bool CovergroupSpec::applies(sim::OrgKind k) const {
+  const CovergroupInfo& i = info();
+  if (i.arbitrated_only && k != sim::OrgKind::Arbitrated) return false;
+  if (i.eventdriven_only && k != sim::OrgKind::EventDriven) return false;
+  return true;
+}
+
+std::string qualified_name(sim::OrgKind org, std::string_view id) {
+  return std::string(org_prefix(org)) + "." + std::string(id);
+}
+
+namespace bins {
+
+std::string port(int controller, trace::PortKind p, int pseudo_port) {
+  std::string out = "bram" + std::to_string(controller) + ".";
+  if (p == trace::PortKind::A) return out + "A";
+  out += to_string(p);
+  out += std::to_string(pseudo_port);
+  return out;
+}
+
+std::string latency_bucket(std::uint64_t cycles) {
+  for (std::uint64_t bound : {2ull, 4ull, 8ull, 16ull, 32ull, 64ull}) {
+    if (cycles <= bound) return "le" + std::to_string(bound);
+  }
+  return "gt64";
+}
+
+std::string fsm_state(const std::string& thread, int id) {
+  return thread + ".S" + std::to_string(id);
+}
+
+std::string fsm_transition(const std::string& thread, int from, int to) {
+  return thread + ".S" + std::to_string(from) + "toS" + std::to_string(to);
+}
+
+}  // namespace bins
+
+namespace {
+
+const std::uint64_t kLatencyBounds[] = {2, 4, 8, 16, 32, 64};
+
+// ---------------------------------------------------------------------------
+// port.activity — every pseudo-port (and port A) requested and granted
+// ---------------------------------------------------------------------------
+class PortActivitySpec : public CovergroupSpec {
+ public:
+  const CovergroupInfo& info() const override {
+    static const CovergroupInfo i{
+        "port.activity",
+        "every consumer/producer pseudo-port (and port A) saw a request "
+        "and a grant"};
+    return i;
+  }
+  void declare(const ModelInputs& in, Covergroup& g) const override {
+    for (const ControllerModel& c : in.controllers) {
+      for (int i = 0; i < c.num_consumers; ++i) {
+        const std::string p = bins::port(c.bram_id, trace::PortKind::C, i);
+        g.declare(p + ".request");
+        g.declare(p + ".grant");
+      }
+      for (int j = 0; j < c.num_producers; ++j) {
+        const std::string p = bins::port(c.bram_id, trace::PortKind::D, j);
+        g.declare(p + ".request");
+        g.declare(p + ".grant");
+      }
+      if (c.has_port_a) {
+        const std::string p = bins::port(c.bram_id, trace::PortKind::A, -1);
+        g.declare(p + ".request");
+        g.declare(p + ".grant");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// port.stall — port × stall-cause cross, restricted to the causes the
+// organization can actually produce (see sim/system.cpp observe_mem_op)
+// ---------------------------------------------------------------------------
+class PortStallSpec : public CovergroupSpec {
+ public:
+  const CovergroupInfo& info() const override {
+    static const CovergroupInfo i{
+        "port.stall",
+        "cross of pseudo-port x stall cause, over the causes reachable in "
+        "this organization"};
+    return i;
+  }
+  void declare(const ModelInputs& in, Covergroup& g) const override {
+    const bool arb = in.organization == sim::OrgKind::Arbitrated;
+    const char* shared_cause =
+        arb ? to_string(trace::StallCause::ArbitrationLoss)
+            : to_string(trace::StallCause::NotOurSlot);
+    const char* dep_cause =
+        to_string(trace::StallCause::DependencyNotProduced);
+    for (const ControllerModel& c : in.controllers) {
+      for (int i = 0; i < c.num_consumers; ++i) {
+        const std::string p = bins::port(c.bram_id, trace::PortKind::C, i);
+        g.declare(p + "." + shared_cause);
+        g.declare(p + "." + dep_cause);
+        g.declare(p + "." + to_string(trace::StallCause::DataWait));
+      }
+      for (int j = 0; j < c.num_producers; ++j) {
+        const std::string p = bins::port(c.bram_id, trace::PortKind::D, j);
+        g.declare(p + "." + shared_cause);
+        g.declare(p + "." + dep_cause);
+      }
+      if (c.has_port_a) {
+        g.declare(bins::port(c.bram_id, trace::PortKind::A, -1) + "." +
+                  to_string(trace::StallCause::PortABusy));
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// arb.sequence — round-robin fairness over consumer arbitration wins
+// ---------------------------------------------------------------------------
+class ArbSequenceSpec : public CovergroupSpec {
+ public:
+  const CovergroupInfo& info() const override {
+    static const CovergroupInfo i{
+        "arb.sequence",
+        "round-robin arbitration fairness: win singles, ordered win pairs "
+        "and a full fairness window on port C",
+        /*arbitrated_only=*/true};
+    return i;
+  }
+  void declare(const ModelInputs& in, Covergroup& g) const override {
+    for (const ControllerModel& c : in.controllers) {
+      const std::string b = "bram" + std::to_string(c.bram_id) + ".";
+      for (int i = 0; i < c.num_consumers; ++i) {
+        g.declare(b + "win.C" + std::to_string(i));
+      }
+      for (int i = 0; i < c.num_consumers; ++i) {
+        for (int j = 0; j < c.num_consumers; ++j) {
+          g.declare(b + "pair.C" + std::to_string(i) + "toC" +
+                    std::to_string(j));
+        }
+      }
+      if (c.num_consumers >= 2) g.declare(b + "fair_window");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// deplist.occupancy — concurrently open produce→consume rounds
+// ---------------------------------------------------------------------------
+class DeplistOccupancySpec : public CovergroupSpec {
+ public:
+  const CovergroupInfo& info() const override {
+    static const CovergroupInfo i{
+        "deplist.occupancy",
+        "high-water of concurrently open dependency rounds per controller"};
+    return i;
+  }
+  void declare(const ModelInputs& in, Covergroup& g) const override {
+    for (const ControllerModel& c : in.controllers) {
+      const std::string b = "bram" + std::to_string(c.bram_id) + ".open";
+      for (std::size_t k = 1; k <= c.deps.size(); ++k) {
+        g.declare(b + std::to_string(k));
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// round.latency — produce→last-consume latency buckets per dependency
+// ---------------------------------------------------------------------------
+class RoundLatencySpec : public CovergroupSpec {
+ public:
+  const CovergroupInfo& info() const override {
+    static const CovergroupInfo i{
+        "round.latency",
+        "produce-to-last-consume completion latency buckets per dependency"};
+    return i;
+  }
+  void declare(const ModelInputs& in, Covergroup& g) const override {
+    for (const ControllerModel& c : in.controllers) {
+      for (const memorg::DepEntry& d : c.deps) {
+        for (std::uint64_t bound : kLatencyBounds) {
+          g.declare(d.id + ".le" + std::to_string(bound));
+        }
+        g.declare(d.id + ".gt64");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// fsm.state — every synthesized FSM state entered
+// ---------------------------------------------------------------------------
+class FsmStateSpec : public CovergroupSpec {
+ public:
+  const CovergroupInfo& info() const override {
+    static const CovergroupInfo i{
+        "fsm.state", "every synthesized FSM state entered, per thread"};
+    return i;
+  }
+  void declare(const ModelInputs& in, Covergroup& g) const override {
+    if (in.fsms == nullptr) return;
+    for (const synth::ThreadFsm& fsm : *in.fsms) {
+      for (const synth::FsmState& s : fsm.states()) {
+        g.declare(bins::fsm_state(fsm.thread_name(), s.id));
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// fsm.transition — every static FSM edge taken
+// ---------------------------------------------------------------------------
+class FsmTransitionSpec : public CovergroupSpec {
+ public:
+  const CovergroupInfo& info() const override {
+    static const CovergroupInfo i{
+        "fsm.transition",
+        "every static FSM edge taken (including the done->initial restart), "
+        "per thread"};
+    return i;
+  }
+  void declare(const ModelInputs& in, Covergroup& g) const override {
+    if (in.fsms == nullptr) return;
+    for (const synth::ThreadFsm& fsm : *in.fsms) {
+      std::set<std::pair<int, int>> edges;
+      for (const synth::FsmState& s : fsm.states()) {
+        switch (s.kind) {
+          case synth::StateKind::Action:
+            if (s.next >= 0) edges.emplace(s.id, s.next);
+            break;
+          case synth::StateKind::Branch:
+            if (s.true_target >= 0) edges.emplace(s.id, s.true_target);
+            if (s.false_target >= 0) edges.emplace(s.id, s.false_target);
+            for (const synth::CaseTransition& t : s.case_targets) {
+              if (t.target >= 0) edges.emplace(s.id, t.target);
+            }
+            break;
+          case synth::StateKind::Done:
+            break;
+        }
+      }
+      for (const auto& [from, to] : edges) {
+        g.declare(bins::fsm_transition(fsm.thread_name(), from, to));
+      }
+      g.declare(fsm.thread_name() + ".restart");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// cross.consumer — dependency × consumer pseudo-port consume cross
+// ---------------------------------------------------------------------------
+class CrossConsumerSpec : public CovergroupSpec {
+ public:
+  const CovergroupInfo& info() const override {
+    static const CovergroupInfo i{
+        "cross.consumer",
+        "cross of dependency x consumer pseudo-port: every declared "
+        "consumer slot observed a consume"};
+    return i;
+  }
+  void declare(const ModelInputs& in, Covergroup& g) const override {
+    for (const ControllerModel& c : in.controllers) {
+      for (const memorg::DepEntry& d : c.deps) {
+        for (int p : d.consumer_ports) {
+          g.declare(d.id + ".C" + std::to_string(p));
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// sched.slot — event-driven: every modulo-schedule slot selected
+// ---------------------------------------------------------------------------
+class SchedSlotSpec : public CovergroupSpec {
+ public:
+  const CovergroupInfo& info() const override {
+    static const CovergroupInfo i{
+        "sched.slot",
+        "event-driven selection logic visited every modulo-schedule slot",
+        /*arbitrated_only=*/false, /*eventdriven_only=*/true};
+    return i;
+  }
+  void declare(const ModelInputs& in, Covergroup& g) const override {
+    for (const ControllerModel& c : in.controllers) {
+      const std::string b = "bram" + std::to_string(c.bram_id) + ".slot";
+      for (int s = 0; s < c.total_slots; ++s) {
+        g.declare(b + std::to_string(s));
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// thread.pass — every thread completed a run-to-completion pass
+// ---------------------------------------------------------------------------
+class ThreadPassSpec : public CovergroupSpec {
+ public:
+  const CovergroupInfo& info() const override {
+    static const CovergroupInfo i{
+        "thread.pass",
+        "every thread completed at least one run-to-completion pass"};
+    return i;
+  }
+  void declare(const ModelInputs& in, Covergroup& g) const override {
+    if (in.fsms == nullptr) return;
+    for (const synth::ThreadFsm& fsm : *in.fsms) {
+      g.declare(fsm.thread_name());
+    }
+  }
+};
+
+}  // namespace
+
+const CoverRegistry& CoverRegistry::builtin() {
+  static const CoverRegistry* registry = [] {
+    auto* r = new CoverRegistry();
+    r->register_spec(std::make_unique<PortActivitySpec>());
+    r->register_spec(std::make_unique<PortStallSpec>());
+    r->register_spec(std::make_unique<ArbSequenceSpec>());
+    r->register_spec(std::make_unique<DeplistOccupancySpec>());
+    r->register_spec(std::make_unique<RoundLatencySpec>());
+    r->register_spec(std::make_unique<FsmStateSpec>());
+    r->register_spec(std::make_unique<FsmTransitionSpec>());
+    r->register_spec(std::make_unique<CrossConsumerSpec>());
+    r->register_spec(std::make_unique<SchedSlotSpec>());
+    r->register_spec(std::make_unique<ThreadPassSpec>());
+    return r;
+  }();
+  return *registry;
+}
+
+void CoverRegistry::register_spec(std::unique_ptr<CovergroupSpec> spec) {
+  specs_.push_back(std::move(spec));
+}
+
+const CovergroupSpec* CoverRegistry::find(std::string_view id) const {
+  for (const auto& s : specs_) {
+    if (id == s->info().id) return s.get();
+  }
+  return nullptr;
+}
+
+std::vector<CovergroupInfo> CoverRegistry::infos() const {
+  std::vector<CovergroupInfo> out;
+  out.reserve(specs_.size());
+  for (const auto& s : specs_) out.push_back(s->info());
+  return out;
+}
+
+void declare_model(const CoverRegistry& registry, const ModelInputs& in,
+                   CoverageModel& model) {
+  for (const auto& spec : registry.specs()) {
+    if (!spec->applies(in.organization)) continue;
+    Covergroup& g = model.group(qualified_name(in.organization, spec->info().id),
+                                spec->info().description);
+    spec->declare(in, g);
+  }
+}
+
+}  // namespace hicsync::cover

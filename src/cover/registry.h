@@ -1,0 +1,99 @@
+// The covergroup registry: enumerable coverage specs, mirroring the
+// hic-lint check registry so `hic-cover --list` (and the docs) can print
+// the full catalogue with one-line descriptions.
+//
+// A CovergroupSpec knows how to *declare* its bins for a compiled program
+// — which behaviors are possible given the FSMs, port plans and dependency
+// lists — and gives the bin-naming convention the CoverageSink then hits
+// at runtime. Declaration is exhaustive and up front: a bin that can never
+// fire still exists, which is exactly what makes holes observable.
+//
+// Registered covergroups (qualified as "<org>.<id>" in a model):
+//   port.activity     request/grant seen per pseudo-port (and port A)
+//   port.stall        port × stall-cause cross (per-organization causes)
+//   arb.sequence      round-robin win singles/ordered pairs/fair window
+//   deplist.occupancy concurrently open rounds high-water, per controller
+//   round.latency     produce→last-consume latency buckets, per dependency
+//   fsm.state         every synthesized FSM state, per thread
+//   fsm.transition    every static FSM edge (+ the done→initial restart)
+//   cross.consumer    dependency × consumer pseudo-port consume cross
+//   sched.slot        event-driven: every modulo-schedule slot selected
+//   thread.pass       every thread completed at least one pass
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cover/model.h"
+#include "trace/event.h"
+
+namespace hicsync::cover {
+
+/// Immutable metadata of one registered covergroup.
+struct CovergroupInfo {
+  const char* id;           // stable, e.g. "fsm.state"
+  const char* description;  // one line, for docs and --list
+  /// Restricted to one organization (e.g. arb.sequence, sched.slot);
+  /// when set, the spec declares nothing for the other organization.
+  bool arbitrated_only = false;
+  bool eventdriven_only = false;
+};
+
+/// One covergroup spec: declares its bins for a program's model inputs.
+class CovergroupSpec {
+ public:
+  virtual ~CovergroupSpec() = default;
+  [[nodiscard]] virtual const CovergroupInfo& info() const = 0;
+  /// Declares every bin of this group into `g` (already created under the
+  /// qualified name). Only called when the spec applies to the org.
+  virtual void declare(const ModelInputs& in, Covergroup& g) const = 0;
+
+  [[nodiscard]] bool applies(sim::OrgKind k) const;
+};
+
+class CoverRegistry {
+ public:
+  /// Registry pre-populated with every built-in covergroup.
+  [[nodiscard]] static const CoverRegistry& builtin();
+
+  CoverRegistry() = default;
+  void register_spec(std::unique_ptr<CovergroupSpec> spec);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<CovergroupSpec>>& specs()
+      const {
+    return specs_;
+  }
+  [[nodiscard]] const CovergroupSpec* find(std::string_view id) const;
+  [[nodiscard]] std::vector<CovergroupInfo> infos() const;
+
+ private:
+  std::vector<std::unique_ptr<CovergroupSpec>> specs_;
+};
+
+/// Qualified covergroup name: "<org-prefix>.<spec-id>".
+[[nodiscard]] std::string qualified_name(sim::OrgKind org,
+                                         std::string_view id);
+
+/// Declares every applicable registered covergroup for `in` into `model`.
+void declare_model(const CoverRegistry& registry, const ModelInputs& in,
+                   CoverageModel& model);
+
+// --- Bin-naming conventions shared by declaration and the runtime sink ---
+namespace bins {
+
+/// "bram<N>.C<i>" / "bram<N>.D<j>" / "bram<N>.A".
+[[nodiscard]] std::string port(int controller, trace::PortKind port,
+                               int pseudo_port);
+/// Latency bucket of a round-completion latency: "le2".."le64" / "gt64".
+[[nodiscard]] std::string latency_bucket(std::uint64_t cycles);
+/// "<thread>.S<id>".
+[[nodiscard]] std::string fsm_state(const std::string& thread, int id);
+/// "<thread>.S<a>toS<b>".
+[[nodiscard]] std::string fsm_transition(const std::string& thread, int from,
+                                         int to);
+
+}  // namespace bins
+
+}  // namespace hicsync::cover

@@ -1,0 +1,107 @@
+#include "cover/report.h"
+
+#include "support/json.h"
+#include "support/strings.h"
+
+namespace hicsync::cover {
+
+std::string format_pct(double pct) {
+  return support::format("%.1f%%", pct);
+}
+
+std::string summary_line(const CoverageModel& model) {
+  return support::format(
+      "coverage %s (%zu/%zu bins, %zu groups)",
+      format_pct(model.coverage_pct()).c_str(), model.total_hit(),
+      model.total_bins(), model.groups().size());
+}
+
+std::string emit_report_md(const CoverageModel& model) {
+  std::string out = "# Coverage report\n\n";
+  out += summary_line(model) + "\n\n";
+  out += "| covergroup | bins | hit | coverage | unexpected |\n";
+  out += "|---|---|---|---|---|\n";
+  for (const Covergroup* g : model.groups()) {
+    out += support::format(
+        "| %s | %zu | %zu | %s | %llu |\n", g->name().c_str(),
+        g->bins().size(), g->hit_bins(),
+        format_pct(g->coverage_pct()).c_str(),
+        static_cast<unsigned long long>(g->unexpected()));
+  }
+  out += "\n## Holes\n\n";
+  bool any = false;
+  for (const Covergroup* g : model.groups()) {
+    const auto holes = g->holes();
+    if (holes.empty()) continue;
+    any = true;
+    out += support::format("* `%s` (%zu):", g->name().c_str(), holes.size());
+    for (const CoverBin* b : holes) out += " " + b->name;
+    out += "\n";
+  }
+  if (!any) out += "(none — every declared bin was hit)\n";
+  return out;
+}
+
+std::string emit_report_json(const CoverageModel& model) {
+  support::JsonWriter w(/*indent=*/2);
+  w.begin_object();
+  w.key("total_bins").value(static_cast<std::uint64_t>(model.total_bins()));
+  w.key("total_hit").value(static_cast<std::uint64_t>(model.total_hit()));
+  w.key("coverage_pct").value(model.coverage_pct());
+  w.key("groups").begin_array();
+  for (const Covergroup* g : model.groups()) {
+    w.begin_object();
+    w.key("name").value(g->name());
+    w.key("description").value(g->description());
+    w.key("bins").value(static_cast<std::uint64_t>(g->bins().size()));
+    w.key("hit").value(static_cast<std::uint64_t>(g->hit_bins()));
+    w.key("coverage_pct").value(g->coverage_pct());
+    w.key("unexpected").value(static_cast<std::uint64_t>(g->unexpected()));
+    w.key("holes").begin_array();
+    for (const CoverBin* b : g->holes()) w.value(b->name);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+CheckResult check_coverage(const CoverageModel& model, double min_pct,
+                           const std::string& group_prefix) {
+  CheckResult r;
+  std::size_t matched = 0;
+  std::size_t matched_bins = 0;
+  std::size_t matched_hit = 0;
+  for (const Covergroup* g : model.groups()) {
+    if (!group_prefix.empty() &&
+        g->name().compare(0, group_prefix.size(), group_prefix) != 0) {
+      continue;
+    }
+    ++matched;
+    matched_bins += g->bins().size();
+    matched_hit += g->hit_bins();
+  }
+  if (matched == 0) {
+    r.ok = false;
+    r.detail = group_prefix.empty()
+                   ? "no covergroups in the model\n"
+                   : "no covergroup matches prefix '" + group_prefix + "'\n";
+    return r;
+  }
+  const double pct =
+      matched_bins == 0 ? 100.0
+                        : 100.0 * static_cast<double>(matched_hit) /
+                              static_cast<double>(matched_bins);
+  if (pct < min_pct) {
+    r.ok = false;
+    r.detail += support::format(
+        "%s: %s < %s (%zu/%zu bins over %zu groups)\n",
+        group_prefix.empty() ? "overall" : group_prefix.c_str(),
+        format_pct(pct).c_str(), format_pct(min_pct).c_str(), matched_hit,
+        matched_bins, matched);
+  }
+  return r;
+}
+
+}  // namespace hicsync::cover

@@ -1,0 +1,41 @@
+// Coverage reporting: the markdown/JSON renderings of a (merged) model,
+// the hole report, and the threshold check behind `hic-cover --check`.
+#pragma once
+
+#include <string>
+
+#include "cover/model.h"
+
+namespace hicsync::cover {
+
+/// Markdown report: summary line, per-covergroup table (bins / hit /
+/// coverage % / unexpected hits), then the hole report — every never-hit
+/// bin, grouped by covergroup in name order, bins in declaration order.
+[[nodiscard]] std::string emit_report_md(const CoverageModel& model);
+
+/// The same content as a JSON document (pretty-printed), for tooling.
+[[nodiscard]] std::string emit_report_json(const CoverageModel& model);
+
+/// One-line summary: "coverage 87.5% (42/48 bins, 12 groups)".
+[[nodiscard]] std::string summary_line(const CoverageModel& model);
+
+/// Result of a `--check` threshold evaluation.
+struct CheckResult {
+  bool ok = true;
+  /// Groups (restricted to `group_prefix` when non-empty) whose coverage
+  /// is below the threshold, rendered as "name: 66.7% < 90%" lines.
+  std::string detail;
+};
+
+/// Checks every covergroup whose name starts with `group_prefix` (empty =
+/// all groups, evaluated against the *overall* bin coverage as well)
+/// against `min_pct`. A model with no matching groups fails the check —
+/// a gate that silently matched nothing would always pass.
+[[nodiscard]] CheckResult check_coverage(const CoverageModel& model,
+                                         double min_pct,
+                                         const std::string& group_prefix = "");
+
+/// Percentage formatted the way every report renders it: "87.5%".
+[[nodiscard]] std::string format_pct(double pct);
+
+}  // namespace hicsync::cover

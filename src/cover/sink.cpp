@@ -1,0 +1,160 @@
+#include "cover/sink.h"
+
+#include <algorithm>
+#include <set>
+
+namespace hicsync::cover {
+
+namespace {
+
+Covergroup* applicable_group(CoverageModel& model, sim::OrgKind org,
+                             const char* id) {
+  // Groups were created by declare_model; absent means the spec does not
+  // apply to this organization (or a caller-trimmed model — also skip).
+  const Covergroup* g = model.find(qualified_name(org, id));
+  return const_cast<Covergroup*>(g);
+}
+
+}  // namespace
+
+CoverageSink::CoverageSink(CoverageModel& model, const ModelInputs& in) {
+  const sim::OrgKind org = in.organization;
+  activity_ = applicable_group(model, org, "port.activity");
+  stall_ = applicable_group(model, org, "port.stall");
+  arbseq_ = applicable_group(model, org, "arb.sequence");
+  occupancy_ = applicable_group(model, org, "deplist.occupancy");
+  latency_ = applicable_group(model, org, "round.latency");
+  fsm_state_ = applicable_group(model, org, "fsm.state");
+  fsm_transition_ = applicable_group(model, org, "fsm.transition");
+  cross_consumer_ = applicable_group(model, org, "cross.consumer");
+  sched_slot_ = applicable_group(model, org, "sched.slot");
+  thread_pass_ = applicable_group(model, org, "thread.pass");
+
+  if (in.fsms != nullptr) {
+    for (const synth::ThreadFsm& fsm : *in.fsms) {
+      ThreadState ts;
+      ts.initial = fsm.initial();
+      ts.done = fsm.done();
+      threads_.emplace(fsm.thread_name(), ts);
+    }
+  }
+  for (const ControllerModel& c : in.controllers) {
+    arb_[c.bram_id].num_consumers = c.num_consumers;
+    open_limit_[c.bram_id] = static_cast<int>(c.deps.size());
+  }
+}
+
+void CoverageSink::on_event(const trace::Event& e) {
+  using trace::EventKind;
+  switch (e.kind) {
+    case EventKind::PortRequest:
+      if (activity_ != nullptr) {
+        activity_->hit(bins::port(e.controller, e.port, e.pseudo_port) +
+                       ".request");
+      }
+      break;
+    case EventKind::PortGrant:
+      if (activity_ != nullptr) {
+        activity_->hit(bins::port(e.controller, e.port, e.pseudo_port) +
+                       ".grant");
+      }
+      break;
+    case EventKind::PortStall:
+      if (stall_ != nullptr) {
+        stall_->hit(bins::port(e.controller, e.port, e.pseudo_port) + "." +
+                    to_string(e.cause));
+      }
+      break;
+    case EventKind::ArbWin: {
+      if (arbseq_ == nullptr || e.port != trace::PortKind::C) break;
+      ArbState& a = arb_[e.controller];
+      const std::string b = "bram" + std::to_string(e.controller) + ".";
+      arbseq_->hit(b + "win.C" + std::to_string(e.pseudo_port));
+      if (a.last_winner >= 0) {
+        arbseq_->hit(b + "pair.C" + std::to_string(a.last_winner) + "toC" +
+                     std::to_string(e.pseudo_port));
+      }
+      a.last_winner = e.pseudo_port;
+      if (a.num_consumers >= 2) {
+        a.window.push_back(e.pseudo_port);
+        if (a.window.size() >
+            static_cast<std::size_t>(a.num_consumers)) {
+          a.window.pop_front();
+        }
+        // Fairness: the last num_consumers wins form a permutation of all
+        // consumer pseudo-ports (nobody starved for a full rotation).
+        if (a.window.size() == static_cast<std::size_t>(a.num_consumers)) {
+          std::set<int> distinct(a.window.begin(), a.window.end());
+          if (distinct.size() == a.window.size()) {
+            arbseq_->hit(b + "fair_window");
+          }
+        }
+      }
+      break;
+    }
+    case EventKind::SlotAdvance:
+      if (sched_slot_ != nullptr) {
+        sched_slot_->hit("bram" + std::to_string(e.controller) + ".slot" +
+                         std::to_string(e.value));
+      }
+      break;
+    case EventKind::Produce: {
+      if (occupancy_ != nullptr) {
+        // A new round can open in the same cycle its predecessor's
+        // RoundComplete fires; event order within the cycle would then
+        // transiently overshoot the real concurrency, so clamp at the
+        // dependency count (the declared — and semantic — maximum).
+        const int open =
+            std::min(++open_rounds_[e.controller], open_limit_[e.controller]);
+        occupancy_->hit("bram" + std::to_string(e.controller) + ".open" +
+                        std::to_string(open));
+      }
+      break;
+    }
+    case EventKind::Consume:
+      if (cross_consumer_ != nullptr) {
+        cross_consumer_->hit(std::string(e.dep) + ".C" +
+                             std::to_string(e.pseudo_port));
+      }
+      break;
+    case EventKind::RoundComplete:
+      if (latency_ != nullptr) {
+        latency_->hit(std::string(e.dep) + "." +
+                      bins::latency_bucket(
+                          static_cast<std::uint64_t>(std::max<std::int64_t>(
+                              e.value, 0))));
+      }
+      if (occupancy_ != nullptr) {
+        int& open = open_rounds_[e.controller];
+        if (open > 0) --open;
+      }
+      break;
+    case EventKind::FsmState: {
+      const int state = static_cast<int>(e.value);
+      auto it = threads_.find(e.thread);
+      if (it == threads_.end()) break;
+      ThreadState& ts = it->second;
+      if (fsm_state_ != nullptr) {
+        fsm_state_->hit(bins::fsm_state(it->first, state));
+      }
+      if (fsm_transition_ != nullptr && ts.prev_state >= 0) {
+        if (ts.prev_state == ts.done && state == ts.initial) {
+          fsm_transition_->hit(it->first + ".restart");
+        } else {
+          fsm_transition_->hit(
+              bins::fsm_transition(it->first, ts.prev_state, state));
+        }
+      }
+      ts.prev_state = state;
+      break;
+    }
+    case EventKind::ThreadBlock:
+    case EventKind::ThreadUnblock:
+      break;
+    case EventKind::PassComplete:
+      if (thread_pass_ != nullptr) thread_pass_->hit(std::string(e.thread));
+      break;
+  }
+}
+
+}  // namespace hicsync::cover

@@ -26,6 +26,14 @@ std::vector<DepEntry> build_dep_entries(
   return entries;
 }
 
+int total_slots(const std::vector<DepEntry>& entries) {
+  int n = 0;
+  for (const DepEntry& e : entries) {
+    n += 1 + static_cast<int>(e.consumer_ports.size());
+  }
+  return n;
+}
+
 int counter_width(const std::vector<DepEntry>& entries) {
   int max_n = 1;
   for (const DepEntry& e : entries) {

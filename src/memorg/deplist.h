@@ -35,4 +35,9 @@ struct DepEntry {
 /// dependency number, at least 1 bit).
 [[nodiscard]] int counter_width(const std::vector<DepEntry>& entries);
 
+/// Length of the §3.2 modulo schedule over these entries: one producer
+/// slot plus one slot per consumer, per dependency. Shared by the
+/// event-driven generator and the coverage model's slot bins.
+[[nodiscard]] int total_slots(const std::vector<DepEntry>& entries);
+
 }  // namespace hicsync::memorg

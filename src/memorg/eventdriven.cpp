@@ -15,13 +15,7 @@ using rtl::eref;
 using rtl::RtlExprPtr;
 using rtl::RtlOp;
 
-int total_slots(const EventDrivenConfig& cfg) {
-  int n = 0;
-  for (const DepEntry& d : cfg.deps) {
-    n += 1 + static_cast<int>(d.consumer_ports.size());
-  }
-  return n;
-}
+int total_slots(const EventDrivenConfig& cfg) { return total_slots(cfg.deps); }
 
 rtl::Module& generate_eventdriven(rtl::Design& design,
                                   const EventDrivenConfig& cfg,

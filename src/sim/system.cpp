@@ -756,6 +756,14 @@ void SystemSim::drive_phase() {
       const synth::FsmState& s = t.fsm.state(t.state);
       if (s.kind == synth::StateKind::Done) {
         ++t.passes;
+        if (trace_ != nullptr && trace_->active()) {
+          trace::Event e;
+          e.cycle = cycle_;
+          e.kind = trace::EventKind::PassComplete;
+          e.thread = t.name;
+          e.value = t.passes;
+          trace_->emit(e);
+        }
         t.mode = ThreadExec::Mode::Gated;
         continue;
       }

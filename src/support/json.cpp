@@ -365,4 +365,32 @@ bool parse_json(std::string_view text, JsonValue* out, std::string* error) {
   return Parser(text).parse(out, error);
 }
 
+bool parse_jsonl(std::string_view text, std::vector<JsonValue>* out,
+                 std::string* error) {
+  out->clear();
+  std::size_t line_no = 0;
+  while (!text.empty()) {
+    ++line_no;
+    const std::size_t nl = text.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? text : text.substr(0, nl);
+    text = nl == std::string_view::npos ? std::string_view()
+                                        : text.substr(nl + 1);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    const bool blank =
+        line.find_first_not_of(" \t") == std::string_view::npos;
+    if (blank) continue;
+    JsonValue v;
+    std::string line_error;
+    if (!parse_json(line, &v, &line_error)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": " + line_error;
+      }
+      return false;
+    }
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
 }  // namespace hicsync::support

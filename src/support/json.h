@@ -104,4 +104,12 @@ class JsonValue {
 [[nodiscard]] bool parse_json(std::string_view text, JsonValue* out,
                               std::string* error = nullptr);
 
+/// Parses a JSON-Lines document: one JSON value per line, blank lines
+/// skipped. Returns false on the first malformed line (`error` carries the
+/// 1-based line number). Used by the append-only stores (bench history,
+/// coverage DB).
+[[nodiscard]] bool parse_jsonl(std::string_view text,
+                               std::vector<JsonValue>* out,
+                               std::string* error = nullptr);
+
 }  // namespace hicsync::support

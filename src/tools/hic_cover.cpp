@@ -1,0 +1,196 @@
+// hic-cover — coverage-DB merging, reporting and threshold gating.
+//
+//   hic-cover [options] <db.jsonl>...
+//
+//   --list                  print the covergroup catalogue and exit
+//   --report=md|json        render the merged coverage + hole report
+//                           (md is the default action when no mode given)
+//   --merge                 write the merged DBs as one JSONL record
+//   --out <path>            write the report/merged record there
+//                           (default stdout)
+//   --check                 gate: fail when bin coverage < --min
+//   --min <pct>             threshold for --check (required with it)
+//   --group <prefix>        restrict --check to covergroups whose name
+//                           starts with <prefix> (e.g. arbitrated.fsm.state)
+//
+// Inputs are JSONL coverage DBs appended by `hicc --cover=out.jsonl`; any
+// number of files/records merge (union of groups and bins, hits sum).
+// Zero-hit bins survive the round trip, so holes stay visible across runs.
+//
+// Exit status:
+//   0  success / coverage at or above the threshold
+//   1  --check found coverage below the threshold
+//   2  usage error
+//   3  no coverage data (no input files, unreadable file, malformed or
+//      schema-skewed record)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cover/db.h"
+#include "cover/registry.h"
+#include "cover/report.h"
+
+using namespace hicsync;
+
+namespace {
+
+constexpr const char* kUsageBody =
+    "  --list\n"
+    "  --report=md|json [--out <path>]\n"
+    "  --merge [--out <path>]\n"
+    "  --check --min <pct> [--group <prefix>]\n"
+    "exit codes: 0 ok, 1 below threshold, 2 usage, 3 no coverage data\n";
+
+void usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [options] <db.jsonl>...\n%s", argv0,
+               kUsageBody);
+}
+
+void list_covergroups() {
+  std::printf("registered covergroups (qualified as <org>.<id>):\n");
+  for (const auto& info : cover::CoverRegistry::builtin().infos()) {
+    const char* scope = info.arbitrated_only    ? " [arbitrated only]"
+                        : info.eventdriven_only ? " [event-driven only]"
+                                                : "";
+    std::printf("  %-20s %s%s\n", info.id, info.description, scope);
+  }
+}
+
+bool write_output(const std::string& out_path, const std::string& body) {
+  if (out_path.empty()) {
+    std::printf("%s", body.c_str());
+    return true;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+    return false;
+  }
+  out << body;
+  std::printf("wrote %s\n", out_path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string report_format;
+  std::string out_path;
+  std::string group_prefix;
+  bool list = false;
+  bool merge = false;
+  bool check = false;
+  double min_pct = -1.0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--report" || arg.rfind("--report=", 0) == 0) {
+      report_format =
+          arg == "--report" ? "md" : arg.substr(std::strlen("--report="));
+      if (report_format != "md" && report_format != "json") {
+        std::fprintf(stderr, "unknown --report format '%s'\n",
+                     report_format.c_str());
+        return 2;
+      }
+    } else if (arg == "--merge") {
+      merge = true;
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--min") {
+      min_pct = std::atof(next());
+    } else if (arg.rfind("--min=", 0) == 0) {
+      min_pct = std::atof(arg.substr(std::strlen("--min=")).c_str());
+    } else if (arg == "--group") {
+      group_prefix = next();
+    } else if (arg.rfind("--group=", 0) == 0) {
+      group_prefix = arg.substr(std::strlen("--group="));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+
+  if (list) {
+    list_covergroups();
+    if (inputs.empty() && !merge && !check && report_format.empty()) {
+      return 0;
+    }
+  }
+  if (check && min_pct < 0.0) {
+    std::fprintf(stderr, "--check needs --min <pct>\n");
+    usage(argv[0]);
+    return 2;
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "no coverage DB files given\n");
+    usage(argv[0]);
+    return 3;
+  }
+
+  cover::CoverageModel model;
+  int total_records = 0;
+  for (const std::string& path : inputs) {
+    std::string error;
+    int records = 0;
+    if (!cover::load_file(path, &model, &error, &records)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 3;
+    }
+    total_records += records;
+  }
+  if (total_records == 0) {
+    std::fprintf(stderr, "no coverage records in the given files\n");
+    return 3;
+  }
+
+  if (merge) {
+    const std::string record =
+        cover::to_record(model, "merged", "merged") + "\n";
+    if (!write_output(out_path, record)) return 2;
+  }
+
+  // Rendering the report is the default action.
+  if (!report_format.empty() || (!merge && !check)) {
+    const std::string body = report_format == "json"
+                                 ? cover::emit_report_json(model) + "\n"
+                                 : cover::emit_report_md(model);
+    if (!write_output(out_path, body)) return 2;
+  }
+
+  if (check) {
+    const cover::CheckResult result =
+        cover::check_coverage(model, min_pct, group_prefix);
+    if (!result.ok) {
+      std::fprintf(stderr, "coverage check FAILED:\n%s",
+                   result.detail.c_str());
+      return 1;
+    }
+    std::printf("coverage check ok (%s >= %s over %d record(s))\n",
+                group_prefix.empty() ? "overall" : group_prefix.c_str(),
+                cover::format_pct(min_pct).c_str(), total_records);
+  }
+  return 0;
+}

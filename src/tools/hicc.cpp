@@ -27,6 +27,15 @@
 //                                   =out.json form writes JSON instead.
 //                                   Composes with --trace and --lint-only
 //                                   (the profile still prints on exit 4)
+//   --cover[=out.jsonl]             functional coverage (hic-cover): declare
+//                                   the covergroup model for the compiled
+//                                   program, attach a CoverageSink to the
+//                                   simulation, and print the coverage +
+//                                   hole report. The =out.jsonl form appends
+//                                   one record to the coverage DB instead
+//                                   (merge/report/gate with hic-cover).
+//                                   Implies --simulate 1; composes with
+//                                   --trace and --profile
 //
 // Static analysis (hic-lint; see docs/DIAGNOSTICS.md for the check
 // catalogue):
@@ -74,6 +83,7 @@ constexpr const char* kUsageBody =
     "  --simulate <passes>\n"
     "  --trace=metrics|vcd|chrome[,out=PATH]   (repeatable)\n"
     "  --profile[=out.json]\n"
+    "  --cover[=out.jsonl]\n"
     "  --chain\n"
     "  --no-cam\n"
     "  --infer\n"
@@ -115,6 +125,8 @@ int main(int argc, char** argv) {
   trace::TraceOptions trace_opts;
   bool profile = false;
   std::string profile_out;
+  bool cover = false;
+  std::string cover_out;
   perf::PassTimer profiler;
 
   auto known_check = [](const std::string& id) {
@@ -169,6 +181,15 @@ int main(int argc, char** argv) {
       profile_out = arg.substr(std::strlen("--profile="));
       if (profile_out.empty()) {
         std::fprintf(stderr, "--profile= needs an output path\n");
+        return 2;
+      }
+    } else if (arg == "--cover") {
+      cover = true;
+    } else if (arg.rfind("--cover=", 0) == 0) {
+      cover = true;
+      cover_out = arg.substr(std::strlen("--cover="));
+      if (cover_out.empty()) {
+        std::fprintf(stderr, "--cover= needs an output path\n");
         return 2;
       }
     } else if (arg == "--chain") {
@@ -334,19 +355,13 @@ int main(int argc, char** argv) {
                 testbench_out.c_str());
   }
 
-  // Tracing without an explicit --simulate runs one pass: the trace *is*
-  // the requested output.
-  if (trace_opts.any() && simulate_passes == 0) simulate_passes = 1;
+  // Tracing or coverage without an explicit --simulate runs one pass: the
+  // trace (or coverage record) *is* the requested output.
+  if ((trace_opts.any() || cover) && simulate_passes == 0) {
+    simulate_passes = 1;
+  }
 
   if (simulate_passes > 0) {
-    core::TraceRunOptions run_options;
-    run_options.sinks = trace_opts;
-    run_options.passes = simulate_passes;
-    run_options.max_cycles = max_cycles;
-    core::TraceRunResult run = core::run_traced(*result, run_options);
-
-    // Write trace artifacts even on timeout — a truncated waveform is
-    // exactly what you want when debugging a deadlock.
     std::string stem = input == "-" ? "stdin" : input;
     std::size_t slash = stem.find_last_of('/');
     std::size_t dot = stem.rfind('.');
@@ -354,6 +369,27 @@ int main(int argc, char** argv) {
         (slash == std::string::npos || dot > slash)) {
       stem = stem.substr(0, dot);
     }
+
+    core::TraceRunOptions run_options;
+    run_options.sinks = trace_opts;
+    run_options.passes = simulate_passes;
+    run_options.max_cycles = max_cycles;
+    run_options.cover = cover;
+    if (cover) {
+      // DB run id: "<input stem>@<organization>".
+      std::string base = slash == std::string::npos
+                             ? stem
+                             : stem.substr(slash + 1);
+      run_options.cover_run_id =
+          base + "@" +
+          (options.organization == sim::OrgKind::Arbitrated
+               ? "arbitrated"
+               : "eventdriven");
+    }
+    core::TraceRunResult run = core::run_traced(*result, run_options);
+
+    // Write trace artifacts even on timeout — a truncated waveform is
+    // exactly what you want when debugging a deadlock.
     auto write_artifact = [](const std::string& path,
                              const std::string& body) {
       std::ofstream out(path);
@@ -382,6 +418,20 @@ int main(int argc, char** argv) {
       } else if (!write_artifact(trace_opts.metrics_out,
                                  run.metrics_json)) {
         return 2;
+      }
+    }
+    if (cover) {
+      if (cover_out.empty()) {
+        std::printf("%s", run.cover_text.c_str());
+      } else {
+        // Append-only DB: one JSONL record per run, merged by hic-cover.
+        std::ofstream out(cover_out, std::ios::app);
+        if (!out) {
+          std::fprintf(stderr, "cannot write '%s'\n", cover_out.c_str());
+          return 2;
+        }
+        out << run.cover_record << "\n";
+        std::printf("appended coverage record to %s\n", cover_out.c_str());
       }
     }
 

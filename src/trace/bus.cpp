@@ -1,5 +1,7 @@
 #include "trace/bus.h"
 
+#include <algorithm>
+
 namespace hicsync::trace {
 
 const char* to_string(EventKind k) {
@@ -15,6 +17,7 @@ const char* to_string(EventKind k) {
     case EventKind::FsmState: return "fsm-state";
     case EventKind::ThreadBlock: return "thread-block";
     case EventKind::ThreadUnblock: return "thread-unblock";
+    case EventKind::PassComplete: return "pass-complete";
   }
   return "unknown";
 }
@@ -44,6 +47,10 @@ const char* to_string(PortKind p) {
 
 void TraceBus::attach(TraceSink* sink) {
   if (sink != nullptr) sinks_.push_back(sink);
+}
+
+void TraceBus::detach(TraceSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
 }
 
 void TraceBus::begin_cycle(std::uint64_t cycle) {

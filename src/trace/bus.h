@@ -29,6 +29,10 @@ class TraceBus {
  public:
   /// Sinks are not owned; they must outlive the bus's last emit/finish.
   void attach(TraceSink* sink);
+  /// Removes a sink (all attachments of it). A detached sink receives no
+  /// further callbacks — including finish — so detaching mid-run is safe
+  /// for sinks that flush on destruction. No-op when not attached.
+  void detach(TraceSink* sink);
 
   /// True when at least one sink is attached. Emitters check this once per
   /// cycle and skip event construction entirely when false.

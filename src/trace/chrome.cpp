@@ -136,6 +136,7 @@ void ChromeTraceSink::on_event(const Event& e) {
     case EventKind::PortRequest:
     case EventKind::ArbWin:
     case EventKind::SlotAdvance:
+    case EventKind::PassComplete:
       break;
   }
 }

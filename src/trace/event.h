@@ -23,6 +23,7 @@ enum class EventKind : std::uint8_t {
   FsmState,       // thread entered an FSM state (value = state id)
   ThreadBlock,    // thread began stalling on the memory system
   ThreadUnblock,  // thread's stalled access was finally granted
+  PassComplete,   // thread finished a run-to-completion pass (value = count)
 };
 
 [[nodiscard]] const char* to_string(EventKind k);

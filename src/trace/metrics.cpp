@@ -234,6 +234,9 @@ void MetricsSink::on_event(const Event& e) {
       }
       break;
     }
+    case EventKind::PassComplete:
+      registry_.counter("thread." + std::string(e.thread) + ".passes").add();
+      break;
   }
 }
 

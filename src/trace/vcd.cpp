@@ -26,6 +26,20 @@ std::string bram_scope(const Event& e) {
   return "bram" + std::to_string(e.controller);
 }
 
+// VCD identifiers cannot contain whitespace or '$'-introduced keywords;
+// restrict to the conservative [A-Za-z0-9_] set viewers agree on.
+std::string sanitize_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "sig";
+  return out;
+}
+
 std::string bin(std::uint64_t v, int width) {
   std::string s;
   for (int b = width - 1; b >= 0; --b) {
@@ -47,7 +61,14 @@ VcdSink::Signal& VcdSink::signal(const std::string& scope,
     it = index_.emplace(key, signals_.size()).first;
     Signal s;
     s.scope = scope;
-    s.name = name;
+    // Distinct raw names may sanitize to the same identifier (e.g. "t.1"
+    // and "t_1"); uniquify so neither wire shadows the other in the header.
+    const std::string base = sanitize_name(name);
+    std::string unique = base;
+    for (int n = 2; !used_names_.insert(scope + "/" + unique).second; ++n) {
+      unique = base + "_" + std::to_string(n);
+    }
+    s.name = unique;
     s.width = width;
     s.pulse = pulse;
     signals_.push_back(std::move(s));
@@ -115,6 +136,8 @@ void VcdSink::on_event(const Event& e) {
     case EventKind::ThreadUnblock:
       set(signal("threads", std::string(e.thread) + "_blocked", 1, false), 0);
       break;
+    case EventKind::PassComplete:
+      break;  // a metrics/coverage-level notion; no waveform signal
   }
 }
 

@@ -14,10 +14,17 @@
 // Request/grant wires are pulse signals: high exactly in the cycles where
 // the corresponding event fired. State/slot/blocked are level signals.
 // One simulation cycle = one VCD timestep (timescale 1 ns).
+//
+// Emitted names pass through the source names (thread names, dep ids),
+// which may contain characters VCD identifiers disallow; they are
+// sanitized to [A-Za-z0-9_], and when two distinct probes sanitize to the
+// same (scope, name) the later one gets a `_2`, `_3`, ... suffix so every
+// probe keeps its own wire in the header.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -50,7 +57,8 @@ class VcdSink : public TraceSink {
   void flush_cycle();
   [[nodiscard]] static std::string id_code(std::size_t index);
 
-  std::map<std::string, std::size_t> index_;  // "scope/name" -> signals_
+  std::map<std::string, std::size_t> index_;  // raw "scope/name" -> signals_
+  std::set<std::string> used_names_;          // sanitized "scope/name"
   std::vector<Signal> signals_;
   std::map<std::size_t, std::uint64_t> pending_;  // pulses seen this cycle
   std::uint64_t cycle_ = 0;

@@ -1,0 +1,107 @@
+#include "cover/db.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "support/json.h"
+
+namespace hicsync::cover {
+namespace {
+
+CoverageModel small_model() {
+  CoverageModel m;
+  Covergroup& g = m.group("arbitrated.fsm.state", "every FSM state");
+  g.declare("t1.S0");
+  g.declare("t1.S1");
+  g.declare("t1.S2");
+  EXPECT_TRUE(m.hit("arbitrated.fsm.state", "t1.S0", 12));
+  EXPECT_TRUE(m.hit("arbitrated.fsm.state", "t1.S1"));
+  m.group("arbitrated.thread.pass", "passes").declare("t1");
+  return m;
+}
+
+TEST(CoverageDbTest, RecordRoundTripsIncludingZeroHitBins) {
+  const CoverageModel m = small_model();
+  const std::string record = to_record(m, "fig1@arbitrated", "arbitrated");
+  EXPECT_EQ(record.find('\n'), std::string::npos) << "JSONL: one line";
+  EXPECT_NE(record.find("\"schema\""), std::string::npos);
+  EXPECT_NE(record.find("fig1@arbitrated"), std::string::npos);
+
+  CoverageModel loaded;
+  std::string error;
+  int records = 0;
+  ASSERT_TRUE(load_records(record, &loaded, &error, &records)) << error;
+  EXPECT_EQ(records, 1);
+  EXPECT_EQ(loaded.total_bins(), m.total_bins());
+  EXPECT_EQ(loaded.total_hit(), m.total_hit());
+  const Covergroup* g = loaded.find("arbitrated.fsm.state");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->description(), "every FSM state");
+  EXPECT_EQ(g->find("t1.S0")->hits, 12u);
+  // The zero-hit bin survived: holes stay visible after a round trip.
+  ASSERT_NE(g->find("t1.S2"), nullptr);
+  EXPECT_EQ(g->find("t1.S2")->hits, 0u);
+  ASSERT_EQ(g->holes().size(), 1u);
+}
+
+TEST(CoverageDbTest, MultipleRecordsMergeBySummingHits) {
+  const CoverageModel m = small_model();
+  const std::string rec = to_record(m, "r", "arbitrated");
+  // Blank lines and CRLF endings are tolerated between records.
+  const std::string text = rec + "\r\n\n" + rec + "\n";
+  CoverageModel loaded;
+  std::string error;
+  int records = 0;
+  ASSERT_TRUE(load_records(text, &loaded, &error, &records)) << error;
+  EXPECT_EQ(records, 2);
+  EXPECT_EQ(loaded.find("arbitrated.fsm.state")->find("t1.S0")->hits, 24u);
+  EXPECT_EQ(loaded.total_bins(), m.total_bins());  // union, not duplication
+}
+
+TEST(CoverageDbTest, UnexpectedCountsSurviveAndSum) {
+  CoverageModel m;
+  m.group("g").declare("a");
+  EXPECT_FALSE(m.hit("g", "stray"));
+  const std::string rec = to_record(m, "r", "arbitrated");
+  CoverageModel loaded;
+  std::string error;
+  ASSERT_TRUE(load_records(rec + "\n" + rec, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.find("g")->unexpected(), 2u);
+}
+
+TEST(CoverageDbTest, SchemaSkewIsRejectedWithoutMutating) {
+  const std::string rec =
+      to_record(small_model(), "r", "arbitrated");
+  std::string skewed = rec;
+  const std::size_t pos = skewed.find("\"schema\": 1");
+  ASSERT_NE(pos, std::string::npos) << rec;
+  skewed.replace(pos, std::strlen("\"schema\": 1"), "\"schema\": 99");
+
+  CoverageModel out;
+  std::string error;
+  support::JsonValue value;
+  ASSERT_TRUE(support::parse_json(skewed, &value, &error)) << error;
+  EXPECT_FALSE(record_to_model(value, &out, &error));
+  EXPECT_NE(error.find("schema"), std::string::npos) << error;
+  EXPECT_EQ(out.total_bins(), 0u) << "failed load must not half-apply";
+}
+
+TEST(CoverageDbTest, MalformedRecordsCarryTheLineNumber) {
+  CoverageModel out;
+  std::string error;
+  EXPECT_FALSE(load_records("{\"schema\":1}\nnot json\n", &out, &error));
+  EXPECT_NE(error.find("line"), std::string::npos) << error;
+}
+
+TEST(CoverageDbTest, MissingFileFailsWithThePathInTheError) {
+  CoverageModel out;
+  std::string error;
+  EXPECT_FALSE(load_file("/nonexistent/cover.jsonl", &out, &error));
+  EXPECT_NE(error.find("/nonexistent/cover.jsonl"), std::string::npos)
+      << error;
+}
+
+}  // namespace
+}  // namespace hicsync::cover

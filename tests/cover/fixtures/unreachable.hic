@@ -1,0 +1,17 @@
+// Coverage-hole fixture: the if (0) body synthesizes FSM states that are
+// statically declared but dynamically unreachable, so fsm.state coverage
+// over this program can never reach 100% — the hole report must say so.
+thread p () {
+  int d, tmp, t2;
+  #consumer{md, [c,v]}
+  d = f(tmp, t2);
+  if (0) {
+    d = f(d, tmp);
+    d = f(d, tmp);
+  }
+}
+thread c () {
+  int v, w;
+  #producer{md, [p,d]}
+  v = g(d, w);
+}

@@ -1,0 +1,97 @@
+#include "cover/report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hicsync::cover {
+namespace {
+
+CoverageModel half_covered() {
+  CoverageModel m;
+  Covergroup& g = m.group("arbitrated.fsm.state", "every FSM state");
+  g.declare("t1.S0");
+  g.declare("t1.S1");
+  EXPECT_TRUE(m.hit("arbitrated.fsm.state", "t1.S0"));
+  Covergroup& h = m.group("arbitrated.thread.pass", "passes");
+  h.declare("t1");
+  EXPECT_TRUE(m.hit("arbitrated.thread.pass", "t1"));
+  return m;
+}
+
+TEST(ReportTest, FormatPct) {
+  EXPECT_EQ(format_pct(100.0), "100.0%");
+  EXPECT_EQ(format_pct(66.666), "66.7%");
+  EXPECT_EQ(format_pct(0.0), "0.0%");
+}
+
+TEST(ReportTest, SummaryLine) {
+  EXPECT_EQ(summary_line(half_covered()),
+            "coverage 66.7% (2/3 bins, 2 groups)");
+}
+
+TEST(ReportTest, MarkdownHasTableAndHoleSection) {
+  const std::string md = emit_report_md(half_covered());
+  EXPECT_EQ(md.rfind("# Coverage report", 0), 0u);
+  EXPECT_NE(md.find("| covergroup | bins | hit | coverage | unexpected |"),
+            std::string::npos);
+  EXPECT_NE(md.find("| arbitrated.fsm.state | 2 | 1 | 50.0% | 0 |"),
+            std::string::npos);
+  EXPECT_NE(md.find("## Holes"), std::string::npos);
+  EXPECT_NE(md.find("* `arbitrated.fsm.state` (1): t1.S1"),
+            std::string::npos);
+  // Fully-covered groups do not clutter the hole report.
+  EXPECT_EQ(md.find("* `arbitrated.thread.pass`"), std::string::npos);
+}
+
+TEST(ReportTest, FullCoverageSaysNoHoles) {
+  CoverageModel m = half_covered();
+  EXPECT_TRUE(m.hit("arbitrated.fsm.state", "t1.S1"));
+  const std::string md = emit_report_md(m);
+  EXPECT_NE(md.find("(none — every declared bin was hit)"),
+            std::string::npos);
+}
+
+TEST(ReportTest, JsonCarriesHolesPerGroup) {
+  const std::string json = emit_report_json(half_covered());
+  EXPECT_NE(json.find("\"total_bins\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"total_hit\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"holes\""), std::string::npos);
+  EXPECT_NE(json.find("\"t1.S1\""), std::string::npos);
+}
+
+TEST(CheckCoverageTest, OverallThreshold) {
+  const CoverageModel m = half_covered();  // 66.7% overall
+  EXPECT_TRUE(check_coverage(m, 50.0).ok);
+  const CheckResult fail = check_coverage(m, 90.0);
+  EXPECT_FALSE(fail.ok);
+  EXPECT_NE(fail.detail.find("overall: 66.7% < 90.0%"), std::string::npos)
+      << fail.detail;
+  EXPECT_NE(fail.detail.find("(2/3 bins over 2 groups)"), std::string::npos)
+      << fail.detail;
+}
+
+TEST(CheckCoverageTest, GroupPrefixRestrictsTheGate) {
+  const CoverageModel m = half_covered();
+  // thread.pass alone is at 100%: passes any threshold.
+  EXPECT_TRUE(check_coverage(m, 100.0, "arbitrated.thread.pass").ok);
+  // fsm.state alone is at 50%.
+  const CheckResult fail =
+      check_coverage(m, 90.0, "arbitrated.fsm.state");
+  EXPECT_FALSE(fail.ok);
+  EXPECT_NE(fail.detail.find("arbitrated.fsm.state: 50.0%"),
+            std::string::npos)
+      << fail.detail;
+}
+
+TEST(CheckCoverageTest, NoMatchingGroupsFailsClosed) {
+  const CheckResult r = check_coverage(half_covered(), 0.0, "typo.prefix");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("no covergroup matches prefix 'typo.prefix'"),
+            std::string::npos)
+      << r.detail;
+  EXPECT_FALSE(check_coverage(CoverageModel(), 0.0).ok);
+}
+
+}  // namespace
+}  // namespace hicsync::cover

@@ -1,0 +1,112 @@
+#include "trace/bus.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hicsync::trace {
+namespace {
+
+// Appends one line per callback to a shared log, so interleaving across
+// sinks is observable.
+class RecordingSink : public TraceSink {
+ public:
+  RecordingSink(std::string name, std::vector<std::string>* log)
+      : name_(std::move(name)), log_(log) {}
+
+  void on_cycle(std::uint64_t cycle) override {
+    log_->push_back(name_ + ".cycle" + std::to_string(cycle));
+  }
+  void on_event(const Event& e) override {
+    log_->push_back(name_ + "." + to_string(e.kind));
+  }
+  void finish(std::uint64_t final_cycle) override {
+    log_->push_back(name_ + ".finish" + std::to_string(final_cycle));
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string>* log_;
+};
+
+Event fsm_event(std::uint64_t cycle) {
+  Event e;
+  e.cycle = cycle;
+  e.kind = EventKind::FsmState;
+  e.thread = "t1";
+  e.value = 0;
+  return e;
+}
+
+TEST(TraceBusTest, InactiveWithoutSinksActiveWithOne) {
+  TraceBus bus;
+  EXPECT_FALSE(bus.active());
+  RecordingSink sink("a", nullptr);
+  bus.attach(&sink);
+  EXPECT_TRUE(bus.active());
+  bus.detach(&sink);
+  EXPECT_FALSE(bus.active());
+}
+
+TEST(TraceBusTest, DispatchesToEverySinkInAttachOrder) {
+  std::vector<std::string> log;
+  RecordingSink a("a", &log);
+  RecordingSink b("b", &log);
+  TraceBus bus;
+  bus.attach(&a);
+  bus.attach(&b);
+
+  bus.begin_cycle(1);
+  bus.emit(fsm_event(1));
+  bus.finish(1);
+
+  const std::vector<std::string> expected = {
+      "a.cycle1",  "b.cycle1",  "a.fsm-state", "b.fsm-state",
+      "a.finish1", "b.finish1",
+  };
+  EXPECT_EQ(log, expected);
+}
+
+TEST(TraceBusTest, DetachedSinkReceivesNothingFurtherIncludingFinish) {
+  std::vector<std::string> log;
+  RecordingSink a("a", &log);
+  RecordingSink b("b", &log);
+  TraceBus bus;
+  bus.attach(&a);
+  bus.attach(&b);
+
+  bus.begin_cycle(1);
+  bus.emit(fsm_event(1));
+  bus.detach(&a);  // mid-run: a must see no later cycle, event, or finish
+  bus.begin_cycle(2);
+  bus.emit(fsm_event(2));
+  bus.finish(2);
+
+  const std::vector<std::string> expected = {
+      "a.cycle1", "b.cycle1", "a.fsm-state", "b.fsm-state",
+      "b.cycle2", "b.fsm-state", "b.finish2",
+  };
+  EXPECT_EQ(log, expected);
+  EXPECT_TRUE(bus.active());  // b is still attached
+}
+
+TEST(TraceBusTest, DetachRemovesEveryAttachmentAndUnknownIsNoOp) {
+  std::vector<std::string> log;
+  RecordingSink a("a", &log);
+  RecordingSink stranger("s", &log);
+  TraceBus bus;
+  bus.attach(&a);
+  bus.attach(&a);  // double attach: both entries must go on detach
+  bus.detach(&stranger);  // never attached: must not disturb a
+  bus.begin_cycle(1);
+  ASSERT_EQ(log.size(), 2u);  // a saw the cycle twice (still attached twice)
+  bus.detach(&a);
+  EXPECT_FALSE(bus.active());
+  bus.finish(1);
+  EXPECT_EQ(log.size(), 2u);  // nothing delivered after detach
+}
+
+}  // namespace
+}  // namespace hicsync::trace

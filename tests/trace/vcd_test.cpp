@@ -133,6 +133,33 @@ TEST(VcdSinkTest, EventDrivenFigure1ProducesValidVcd) {
   EXPECT_NE(doc.find("slot"), std::string::npos);
 }
 
+TEST(VcdSinkTest, CollidingNamesSanitizeAndStayDistinct) {
+  // "t.1" and "t-1" both sanitize to "t_1": without uniquification the two
+  // threads would share one wire and their waveforms would overwrite each
+  // other. The later probe must get a suffixed name instead.
+  VcdSink vcd;
+  TraceBus bus;
+  bus.attach(&vcd);
+  bus.begin_cycle(0);
+  Event e;
+  e.kind = EventKind::FsmState;
+  e.thread = "t.1";
+  e.value = 1;
+  bus.emit(e);
+  e.thread = "t-1";
+  e.value = 2;
+  bus.emit(e);
+  bus.finish(1);
+
+  const std::string& doc = vcd.str();
+  validate_vcd(doc);  // also asserts the two id codes are distinct
+  EXPECT_NE(doc.find(" t_1_state "), std::string::npos);
+  EXPECT_NE(doc.find(" t_1_state_2 "), std::string::npos);
+  // The raw names with illegal characters must not leak into the header.
+  EXPECT_EQ(doc.find("t.1"), std::string::npos);
+  EXPECT_EQ(doc.find("t-1"), std::string::npos);
+}
+
 TEST(VcdSinkTest, EmptyTraceStillRendersHeader) {
   VcdSink vcd;
   vcd.finish(0);
