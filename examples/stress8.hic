@@ -1,0 +1,50 @@
+// 8-consumer stress (ROADMAP): one dependency fanned out to eight
+// consumer threads. Exercises the arbitrated wrapper at its evaluated
+// width — eight C pseudo-ports sharing port B round-robin, dependency
+// number 8 counting down through the list entry — and a nine-slot
+// event-driven schedule (producer slot plus one per consumer).
+thread p () {
+  int x, seed;
+  #consumer{ms, [c1,v1], [c2,v2], [c3,v3], [c4,v4], [c5,v5], [c6,v6], [c7,v7], [c8,v8]}
+  x = f(seed);
+}
+thread c1 () {
+  int v1, r1;
+  #producer{ms, [p,x]}
+  v1 = g(x, r1);
+}
+thread c2 () {
+  int v2, r2;
+  #producer{ms, [p,x]}
+  v2 = g(x, r2);
+}
+thread c3 () {
+  int v3, r3;
+  #producer{ms, [p,x]}
+  v3 = g(x, r3);
+}
+thread c4 () {
+  int v4, r4;
+  #producer{ms, [p,x]}
+  v4 = g(x, r4);
+}
+thread c5 () {
+  int v5, r5;
+  #producer{ms, [p,x]}
+  v5 = g(x, r5);
+}
+thread c6 () {
+  int v6, r6;
+  #producer{ms, [p,x]}
+  v6 = g(x, r6);
+}
+thread c7 () {
+  int v7, r7;
+  #producer{ms, [p,x]}
+  v7 = g(x, r7);
+}
+thread c8 () {
+  int v8, r8;
+  #producer{ms, [p,x]}
+  v8 = g(x, r8);
+}

@@ -1,0 +1,31 @@
+// Shared-BRAM stress (ROADMAP 8-consumer configs): one producer thread
+// owns three shared variables, so the allocator co-locates all three
+// dependencies in a single BRAM — its dependency list keeps three entries
+// open at once (CAM occupancy 3) and the event-driven schedule interleaves
+// seven slots across the dependencies. The fan-out dependency comes first
+// in the schedule and the per-consumer dependencies follow, so the program
+// is hazard-free under both organizations (hic-verify proves
+// deadlock-freedom and bounded blocking for both).
+thread p () {
+  int a, b, c, seed;
+  #consumer{da, [q1,u1], [q2,u2]}
+  a = f(seed);
+  #consumer{db, [q1,w1]}
+  b = f2(seed);
+  #consumer{dc, [q2,s2]}
+  c = f3(seed);
+}
+thread q1 () {
+  int u1, w1, r1;
+  #producer{da, [p,a]}
+  u1 = g(a, r1);
+  #producer{db, [p,b]}
+  w1 = g2(b, u1);
+}
+thread q2 () {
+  int u2, s2, r2;
+  #producer{da, [p,a]}
+  u2 = g(a, r2);
+  #producer{dc, [p,c]}
+  s2 = g3(c, u2);
+}

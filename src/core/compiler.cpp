@@ -190,6 +190,23 @@ std::unique_ptr<CompileResult> Compiler::compile(
     }
   }
 
+  // hic-verify: explicit-state model checking of the synchronization
+  // behavior under the selected organization (docs/VERIFICATION.md).
+  // Refutations surface as diagnostics with verify-* check IDs; like lint
+  // findings they do not flip ok() — the design still generates.
+  if (options_.verify.enabled) {
+    perf::ScopedPhase phase(prof, "verify");
+    verify::VerifyResult vr =
+        verify::run_verify(r.program_, *r.sema_, r.map_, r.plans_,
+                           options_.organization, options_.verify);
+    r.verify_errors_ += verify::report_findings(vr, *r.sema_, r.diags_);
+    if (prof != nullptr) {
+      prof->set_count("verify.states", vr.states);
+      prof->set_count("verify.transitions", vr.transitions);
+    }
+    r.verify_results_.push_back(std::move(vr));
+  }
+
   // Generate one controller per BRAM and map it.
   fpga::TechMapper mapper;
   for (const memalloc::BramInstance& bram : r.map_.brams()) {

@@ -21,6 +21,7 @@
 #include "sim/system.h"
 #include "support/diagnostics.h"
 #include "synth/scheduler.h"
+#include "verify/checker.h"
 
 namespace hicsync::core {
 
@@ -38,6 +39,12 @@ struct CompileOptions {
   /// PreGenerate checks run after port planning, before RTL generation;
   /// `lint.only` stops the flow there (no controllers are generated).
   analysis::lint::LintOptions lint;
+  /// hic-verify: explicit-state model checking of the synchronization
+  /// behavior (deadlock-freedom, consume-before-produce, blocking bounds,
+  /// CAM occupancy; docs/VERIFICATION.md). When enabled, runs after port
+  /// planning for the selected organization; refutations surface as
+  /// diagnostics (hicc exits 5) without flipping ok().
+  verify::VerifyOptions verify;
   /// Name stamped onto diagnostics (and json output); typically the path
   /// the driver read the source from.
   std::string source_name;
@@ -97,6 +104,16 @@ class CompileResult {
   [[nodiscard]] std::size_t lint_warning_count() const {
     return lint_warnings_;
   }
+  /// hic-verify results (empty unless options.verify.enabled; one entry
+  /// for the compiled organization). Like lint, refutations do not flip
+  /// ok(); drivers should fail on them (hicc exits 5).
+  [[nodiscard]] const std::vector<verify::VerifyResult>& verify_results()
+      const {
+    return verify_results_;
+  }
+  [[nodiscard]] std::size_t verify_error_count() const {
+    return verify_errors_;
+  }
   [[nodiscard]] const CompileOptions& options() const { return options_; }
 
   /// Generated RTL of every controller, as Verilog-2001 text.
@@ -131,6 +148,8 @@ class CompileResult {
   std::vector<std::string> deadlock_warnings_;
   std::size_t lint_errors_ = 0;
   std::size_t lint_warnings_ = 0;
+  std::vector<verify::VerifyResult> verify_results_;
+  std::size_t verify_errors_ = 0;
 };
 
 class Compiler {

@@ -47,12 +47,21 @@
 //   --diag-format text|json         diagnostic rendering; json is the CI
 //                                   interface (machine-readable, stdout)
 //
+// Verification (hic-verify; see docs/VERIFICATION.md — the standalone
+// hic-verify tool adds counterexample replay and both-organization runs):
+//   --verify                        model-check the program: deadlock-freedom,
+//                                   consume-before-produce, blocking bounds,
+//                                   CAM occupancy for the selected --org
+//   --verify-max-states <n>         state budget (default 1000000); exhausting
+//                                   it makes unproved properties inconclusive
+//
 // Exit status:
 //   0  success
 //   1  compile error (parse/sema/analysis reported errors)
 //   2  usage error (bad flags, unreadable input, unknown lint check)
 //   3  simulation did not converge within the cycle budget
 //   4  lint findings at error severity (including -W/--Werror promotions)
+//   5  verify refuted a property (reported with a verify-* check ID)
 
 #include <cstdio>
 #include <cstdlib>
@@ -92,8 +101,11 @@ constexpr const char* kUsageBody =
     "  --max-cycles <n>\n"
     "  --lint | --lint-only\n"
     "  -W<check> | -Wno-<check> | --Werror\n"
+    "  --verify [--verify-max-states <n>]\n"
     "  --diag-format text|json\n"
-    "exit codes: 0 ok, 1 compile error, 2 usage, 3 sim timeout, 4 lint errors\n";
+    // NOLINTNEXTLINE(whitespace/line_length) — kept on one line so the
+    // usage_docs_in_sync test can grep the whole table verbatim.
+    "exit codes: 0 ok, 1 compile error, 2 usage, 3 sim timeout, 4 lint errors, 5 verify refuted\n";
 
 void usage(const char* argv0) {
   std::fprintf(stderr, "usage: %s [options] <file.hic | ->\n%s", argv0,
@@ -204,6 +216,12 @@ int main(int argc, char** argv) {
       options.target_clock_mhz = std::atof(next());
     } else if (arg == "--max-cycles") {
       max_cycles = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--verify") {
+      options.verify.enabled = true;
+    } else if (arg == "--verify-max-states") {
+      options.verify.enabled = true;
+      options.verify.max_states =
+          static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--lint") {
       options.lint.enabled = true;
     } else if (arg == "--lint-only") {
@@ -331,8 +349,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Verify summary on stdout (human form only; --diag-format json keeps
+  // stdout machine-readable and the findings already carry the verdicts).
+  if (!json_diags) {
+    for (const auto& vr : result->verify_results()) {
+      std::printf("%s", vr.text().c_str());
+    }
+  }
+
   if (result->lint_error_count() > 0) return 4;
   if (options.lint.only) return 0;
+  if (result->verify_error_count() > 0) return 5;
 
   if (!verilog_out.empty()) {
     std::ofstream out(verilog_out);

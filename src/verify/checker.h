@@ -1,0 +1,122 @@
+// hic-verify: property checking over the explored state space.
+//
+// Four properties of the abstract product system (docs/VERIFICATION.md):
+//  1. deadlock-freedom — no reachable state where every thread is stuck
+//     at an unsatisfied sync guard;
+//  2. absence of runtime consume-before-produce — no reachable deadlock
+//     in which a consumer's guarded read waits on a produce that can
+//     never happen (subsumes hic-lint's path-witness check);
+//  3. bounded blocking — per consumer, the worst-case number of abstract
+//     steps (and, under round-robin fairness, cycles) spent blocked at
+//     the guarded read;
+//  4. CAM occupancy — the dependency list never holds more simultaneously
+//     open entries than the capacity memalloc chose.
+//
+// Verdicts are three-valued: Proved / Refuted / Inconclusive (state
+// budget exhausted). Refutations carry a minimal counterexample schedule
+// that verify::replay (replay.h) cross-validates against sim::SystemSim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memalloc/allocator.h"
+#include "memalloc/portplan.h"
+#include "support/diagnostics.h"
+#include "verify/explore.h"
+#include "verify/model.h"
+
+namespace hicsync::verify {
+
+struct VerifyOptions {
+  bool enabled = false;
+  /// State budget; exhausting it makes every unproved verdict
+  /// Inconclusive instead of Proved.
+  std::uint64_t max_states = 1000000;
+  bool por = true;
+  /// Compute per-consumer blocking bounds (needs the transition graph;
+  /// memory grows with the state count).
+  bool bounds = true;
+};
+
+enum class Verdict { Proved, Refuted, Inconclusive };
+
+[[nodiscard]] const char* to_string(Verdict v);
+
+/// Worst-case blocking of one consumer endpoint at its guarded read.
+struct BlockingBound {
+  std::string dep;
+  std::string thread;
+  int consumer = -1;  // index within the dependency's consumer list
+  bool bounded = false;
+  /// Steps other threads can take while this consumer stays blocked
+  /// (longest blocked path in the reachable state graph).
+  std::uint64_t steps = 0;
+  /// Cycle bound under round-robin fairness: (steps + 1) * (window + 1)
+  /// with `window` the controller's arbitration window.
+  std::uint64_t cycles = 0;
+  /// True when part of the bound crosses a cycle that only round-robin
+  /// fairness exits (the bound counts each such component once).
+  bool fairness_cycle = false;
+  std::string note;  // why unbounded, when !bounded
+};
+
+/// The replayable essence of a refutation, decoupled from the explorer.
+struct CexInfo {
+  /// Thread name of each step, in schedule order.
+  std::vector<std::string> schedule;
+  struct Blocked {
+    std::string thread;
+    std::string dep;
+    SyncOp::Kind kind = SyncOp::Kind::Consume;
+  };
+  std::vector<Blocked> blocked;
+  /// Rendered schedule + blocked set, one line each.
+  std::string text;
+};
+
+struct VerifyResult {
+  sim::OrgKind organization = sim::OrgKind::Arbitrated;
+  bool complete = true;
+  std::uint64_t states = 0;
+  std::uint64_t transitions = 0;
+
+  Verdict deadlock_free = Verdict::Inconclusive;
+  bool has_cex = false;
+  CexInfo cex;
+  /// (dep, consumer thread) pairs whose guarded read is stuck in the
+  /// refuting deadlock (property 2 refutations).
+  std::vector<std::pair<std::string, std::string>> consume_before_produce;
+
+  Verdict occupancy_ok = Verdict::Inconclusive;
+  std::vector<ControllerStats> controllers;
+
+  std::vector<BlockingBound> bounds;
+  Verdict blocking_bounded = Verdict::Inconclusive;
+
+  /// True when every proved property held and nothing was refuted or
+  /// inconclusive.
+  [[nodiscard]] bool all_proved() const;
+  [[nodiscard]] std::string text() const;
+  [[nodiscard]] std::string json() const;
+};
+
+/// Runs the checker for one organization. `sema` must have run
+/// successfully; `map`/`plans` from the allocator and port planner.
+[[nodiscard]] VerifyResult run_verify(
+    const hic::Program& program, const hic::Sema& sema,
+    const memalloc::MemoryMap& map,
+    const std::vector<memalloc::BramPortPlan>& plans,
+    sim::OrgKind organization, const VerifyOptions& options);
+
+/// Reports the result's findings into `diags` with stable check IDs
+/// (verify-deadlock, verify-consume-before-produce,
+/// verify-blocking-unbounded, verify-cam-occupancy, verify-inconclusive;
+/// see docs/DIAGNOSTICS.md). Returns the number of error-severity
+/// findings (drivers map it to exit code 5).
+std::size_t report_findings(const VerifyResult& result,
+                            const hic::Sema& sema,
+                            support::DiagnosticEngine& diags);
+
+}  // namespace hicsync::verify

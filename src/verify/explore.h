@@ -1,0 +1,137 @@
+// hic-verify: explicit-state exploration of the abstract product system.
+//
+// Breadth-first search over the composed state (one program counter per
+// thread, plus the abstract controller state: per-dependency countdown
+// counters for the arbitrated organization, per-controller slot counters
+// for the event-driven one). BFS parent links make every reported
+// counterexample a *minimal* interleaving.
+//
+// Partial-order reduction: when some thread sits at an internal node (no
+// sync op), its moves are invisible and independent of every other
+// thread's, so expanding only that thread is a valid persistent (ample)
+// set; the standard cycle proviso — fall back to full expansion when every
+// reduced successor was already visited — prevents the ignoring problem.
+// Deadlocks and all reachable shared-controller states are preserved
+// (docs/VERIFICATION.md spells out the ample-set conditions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/model.h"
+
+namespace hicsync::verify {
+
+/// Packed product state: thread PCs, then countdowns (arbitrated) or
+/// controller slots (event-driven). The packing is canonical — equal
+/// states pack identically — and doubles as the hash key.
+using State = std::vector<std::uint16_t>;
+
+struct ExploreOptions {
+  /// Exploration stops (complete=false) once this many states exist.
+  std::uint64_t max_states = 1000000;
+  bool por = true;
+  /// Record the successor adjacency so blocking bounds can be computed
+  /// (costs memory proportional to transitions).
+  bool build_graph = true;
+};
+
+/// One scheduled step of a counterexample: `thread` moved from CFG node
+/// `from` to `to`.
+struct Step {
+  int thread = -1;
+  int from = -1;
+  int to = -1;
+};
+
+/// A thread stuck at a sync node in a deadlock state.
+struct BlockedThread {
+  int thread = -1;
+  int node = -1;
+  SyncOp op;           // the (first) unsatisfied sync op
+  std::string reason;  // human-readable guard description
+};
+
+/// A refutation: the minimal schedule from the initial state into the
+/// violating state, plus what is blocked there.
+struct Counterexample {
+  std::vector<Step> steps;
+  std::vector<BlockedThread> blocked;
+  int state_id = -1;
+};
+
+struct ControllerStats {
+  int bram_id = -1;
+  int cam_capacity = 0;
+  /// Max dependency-list entries simultaneously open (countdown > 0) in
+  /// any reachable state; the §3.1 CAM occupancy. 0 for event-driven.
+  int max_occupancy = 0;
+  /// Max reachable slot value (event-driven; sanity vs total_slots).
+  int max_slot = 0;
+  int total_slots = 0;
+};
+
+class Explorer {
+ public:
+  Explorer(const ProgramModel& model, ExploreOptions options);
+
+  /// Runs the search. Returns false when the state budget was exhausted
+  /// (results are then lower bounds, not proofs).
+  bool run();
+
+  [[nodiscard]] bool complete() const { return complete_; }
+  [[nodiscard]] std::uint64_t num_states() const { return states_.size(); }
+  [[nodiscard]] std::uint64_t num_transitions() const { return transitions_; }
+
+  [[nodiscard]] bool deadlock_found() const { return deadlock_.state_id >= 0; }
+  [[nodiscard]] const Counterexample& deadlock() const { return deadlock_; }
+
+  [[nodiscard]] const std::vector<ControllerStats>& controller_stats() const {
+    return controller_stats_;
+  }
+
+  // --- State access for property passes (bounds, tests) ---
+  [[nodiscard]] const State& state(int id) const {
+    return states_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] int pc(const State& s, int thread) const {
+    return s[static_cast<std::size_t>(thread)];
+  }
+  /// Successor state ids of `id`; empty unless options.build_graph.
+  [[nodiscard]] const std::vector<std::int32_t>& succs(int id) const {
+    return graph_[static_cast<std::size_t>(id)];
+  }
+  /// True when `op` is enabled (its guard holds) in `s`.
+  [[nodiscard]] bool op_enabled(const State& s, const SyncOp& op) const;
+  /// Renders a counterexample schedule, one step per line.
+  [[nodiscard]] std::string render(const Counterexample& cex) const;
+
+ private:
+  struct Transition {
+    int thread;
+    int to;  // CFG node
+  };
+  [[nodiscard]] State initial_state() const;
+  [[nodiscard]] bool node_enabled(const State& s, int thread) const;
+  void apply(State& s, int thread, const Transition& t) const;
+  void enabled_transitions(const State& s, int thread,
+                           std::vector<Transition>& out) const;
+  void note_state(const State& s);
+  [[nodiscard]] std::string guard_reason(const State& s,
+                                         const SyncOp& op) const;
+
+  const ProgramModel& model_;
+  ExploreOptions options_;
+  std::size_t countdown_base_ = 0;  // offset of controller state in State
+
+  std::vector<State> states_;
+  std::vector<std::pair<std::int32_t, Step>> parent_;
+  std::vector<std::vector<std::int32_t>> graph_;
+  std::uint64_t transitions_ = 0;
+  bool complete_ = true;
+  Counterexample deadlock_;
+  std::vector<ControllerStats> controller_stats_;
+};
+
+}  // namespace hicsync::verify

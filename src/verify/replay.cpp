@@ -1,0 +1,132 @@
+#include "verify/replay.h"
+
+#include <map>
+
+#include "sim/system.h"
+#include "support/strings.h"
+#include "trace/bus.h"
+
+namespace hicsync::verify {
+
+namespace {
+
+/// Records block/unblock events per thread so replay can confirm the
+/// counterexample's blocked set on the trace bus (not only through the
+/// simulator's own diagnostics).
+class BlockRecorder : public trace::TraceSink {
+ public:
+  struct ThreadState {
+    int blocks = 0;
+    int unblocks = 0;
+    std::string last_dep;  // dep of the most recent ThreadBlock
+  };
+
+  void on_event(const trace::Event& e) override {
+    if (e.kind == trace::EventKind::ThreadBlock) {
+      ThreadState& st = threads_[std::string(e.thread)];
+      ++st.blocks;
+      st.last_dep = std::string(e.dep);
+    } else if (e.kind == trace::EventKind::ThreadUnblock) {
+      ++threads_[std::string(e.thread)].unblocks;
+    }
+  }
+
+  /// True when `thread`'s last observed transition was into blocked, on
+  /// dependency `dep`.
+  [[nodiscard]] bool blocked_on(const std::string& thread,
+                                const std::string& dep) const {
+    auto it = threads_.find(thread);
+    if (it == threads_.end()) return false;
+    return it->second.blocks > it->second.unblocks &&
+           it->second.last_dep == dep;
+  }
+
+ private:
+  std::map<std::string, ThreadState> threads_;
+};
+
+}  // namespace
+
+ReplayResult replay(const hic::Program& program, const hic::Sema& sema,
+                    const memalloc::MemoryMap& map,
+                    const std::vector<memalloc::BramPortPlan>& plans,
+                    sim::OrgKind organization, const CexInfo& cex,
+                    const ReplayOptions& options) {
+  ReplayResult r;
+
+  sim::SystemOptions so;
+  so.organization = organization;
+  so.restart_threads = true;
+  sim::SystemSim sys(program, sema, map, plans, so);
+
+  trace::TraceBus bus;
+  BlockRecorder recorder;
+  bus.attach(&recorder);
+  sys.set_trace(&bus);
+
+  // Bias the simulator toward the counterexample interleaving: release
+  // each thread's first pass in the order the thread first appears in the
+  // schedule. Threads the schedule never moves start last — in the
+  // abstract run they never got to act before the system wedged.
+  std::vector<std::string> order;
+  auto note = [&](const std::string& t) {
+    for (const std::string& seen : order) {
+      if (seen == t) return;
+    }
+    order.push_back(t);
+  };
+  for (const std::string& t : cex.schedule) note(t);
+  for (const hic::ThreadDecl& t : program.threads) note(t.name);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    std::uint64_t release = options.stagger * i;
+    sys.set_gate(order[i], [release](std::uint64_t cycle) {
+      return cycle >= release;
+    });
+  }
+
+  bool converged = sys.run_until_passes(options.passes, options.max_cycles);
+  bus.finish(sys.cycle());
+  r.cycles = sys.cycle();
+
+  if (converged) {
+    r.report = support::format(
+        "NOT reproduced: the %s simulation completed %d pass(es) per thread "
+        "in %llu cycles — no deadlock",
+        sim::to_string(organization), options.passes,
+        static_cast<unsigned long long>(r.cycles));
+    return r;
+  }
+
+  // The system wedged; confirm it wedged the way the checker predicted.
+  bool all_matched = !cex.blocked.empty();
+  std::string detail;
+  for (const CexInfo::Blocked& b : cex.blocked) {
+    bool sim_blocked = sys.is_blocked(b.thread);
+    bool dep_matched = false;
+    for (const sim::ThreadDiagnostic& d : sys.thread_diagnostics()) {
+      if (d.thread != b.thread) continue;
+      dep_matched = d.waiting_on.find("dep '" + b.dep + "'") !=
+                    std::string::npos;
+    }
+    bool traced = recorder.blocked_on(b.thread, b.dep);
+    bool ok = sim_blocked && dep_matched && traced;
+    all_matched = all_matched && ok;
+    if (ok) r.blocked_threads.push_back(b.thread);
+    detail += support::format(
+        "  %-12s expected blocked on '%s': sim=%s dep=%s trace=%s\n",
+        b.thread.c_str(), b.dep.c_str(), sim_blocked ? "blocked" : "free",
+        dep_matched ? "match" : "MISMATCH", traced ? "blocked" : "free");
+  }
+
+  r.reproduced = all_matched;
+  r.report = support::format(
+      "%s after %llu cycles (%s organization):\n",
+      r.reproduced ? "REPRODUCED" : "not reproduced",
+      static_cast<unsigned long long>(r.cycles),
+      sim::to_string(organization));
+  r.report += detail;
+  r.report += sys.stall_report();
+  return r;
+}
+
+}  // namespace hicsync::verify

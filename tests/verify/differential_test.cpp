@@ -1,0 +1,87 @@
+// Differential suite: the model checker must subsume hic-lint's
+// consume-before-produce check. For every lint fixture, whenever lint
+// reports a consume-before-produce hazard, hic-verify must refute
+// deadlock-freedom AND classify at least one blocked pair as
+// consume-before-produce — under both organizations. The converse is NOT
+// required: the checker may find strictly more (ed_slot_order.hic is the
+// witness — lint is silent, verify refutes).
+#include <gtest/gtest.h>
+
+#include "analysis/lint/lint.h"
+#include "verify/checker.h"
+#include "verify_test_util.h"
+
+namespace hicsync::verify {
+namespace {
+
+using verify_test::compile_for_verify;
+using verify_test::fixture_path;
+using verify_test::lint_fixture_path;
+using verify_test::read_file;
+using verify_test::verify_source;
+
+// Every .hic fixture hic-lint ships; keep in sync with
+// tests/analysis/lint/fixtures/.
+const char* kLintFixtures[] = {
+    "consume_before_produce.hic", "dead_shared_variable.hic",
+    "duplicate_producer_write.hic", "port_pressure.hic",
+    "pragma_consumer_order.hic",  "race_unsynced_access.hic",
+    "unreachable_stmt.hic",
+};
+
+/// Compiles with lint attached and returns (result, lint c-b-p count).
+std::pair<std::unique_ptr<core::CompileResult>, std::size_t> compile_linted(
+    const std::string& source, const std::string& name) {
+  core::CompileOptions options;
+  options.lint.enabled = true;
+  options.lint.only = true;
+  options.source_name = name;
+  core::Compiler compiler(options);
+  auto result = compiler.compile(source);
+  EXPECT_TRUE(result->ok()) << name << ": " << result->diags().str();
+  std::size_t cbp = result->diags().check_count("consume-before-produce");
+  return {std::move(result), cbp};
+}
+
+TEST(DifferentialTest, VerifySubsumesLintConsumeBeforeProduce) {
+  std::size_t lint_positive = 0;
+  for (const char* name : kLintFixtures) {
+    auto [c, lint_cbp] = compile_linted(read_file(lint_fixture_path(name)),
+                                        name);
+    ASSERT_TRUE(c->ok()) << name;
+    if (lint_cbp > 0) ++lint_positive;
+    for (sim::OrgKind org :
+         {sim::OrgKind::Arbitrated, sim::OrgKind::EventDriven}) {
+      VerifyResult r = verify_source(*c, org);
+      ASSERT_TRUE(r.complete) << name << " (raise the budget?)";
+      if (lint_cbp > 0) {
+        // Lint found a path witness — the checker must find the runtime
+        // deadlock it leads to, and classify it.
+        EXPECT_EQ(r.deadlock_free, Verdict::Refuted) << name;
+        EXPECT_GE(r.consume_before_produce.size(), 1u) << name;
+        support::DiagnosticEngine diags;
+        EXPECT_GT(report_findings(r, c->sema(), diags), 0u) << name;
+        EXPECT_TRUE(diags.has_check("verify-consume-before-produce"))
+            << name;
+      }
+    }
+  }
+  // The suite must actually exercise the implication.
+  EXPECT_GE(lint_positive, 1u);
+}
+
+TEST(DifferentialTest, VerifyFindsStrictlyMoreThanLint) {
+  // ed_slot_order.hic: no produce/consume cycle exists, so lint's
+  // path-witness check is silent — but the schedule still deadlocks.
+  auto [c, lint_cbp] = compile_linted(
+      read_file(fixture_path("ed_slot_order.hic")), "ed_slot_order.hic");
+  ASSERT_TRUE(c->ok());
+  EXPECT_EQ(lint_cbp, 0u);
+  EXPECT_EQ(c->lint_error_count(), 0u) << c->diags().str();
+
+  VerifyResult r = verify_source(*c, sim::OrgKind::EventDriven);
+  EXPECT_EQ(r.deadlock_free, Verdict::Refuted);
+}
+
+}  // namespace
+}  // namespace hicsync::verify

@@ -1,0 +1,156 @@
+// Explorer behavior: deadlock-freedom proofs, minimal counterexamples,
+// POR soundness (agrees with the full search), budgets and controller
+// statistics.
+#include "verify/explore.h"
+
+#include <gtest/gtest.h>
+
+#include "verify_test_util.h"
+
+namespace hicsync::verify {
+namespace {
+
+using verify_test::compile_for_verify;
+using verify_test::example_path;
+using verify_test::fixture_path;
+using verify_test::read_file;
+
+struct Built {
+  std::unique_ptr<core::CompileResult> compiled;
+  ProgramModel model;
+};
+
+Built build(const std::string& source, sim::OrgKind org) {
+  auto compiled = compile_for_verify(source);
+  ProgramModel model =
+      ProgramModel::build(compiled->program(), compiled->sema(),
+                          compiled->memory_map(), compiled->port_plans(), org);
+  return {std::move(compiled), std::move(model)};
+}
+
+TEST(ExploreTest, Fig1DeadlockFreeBothOrgs) {
+  const std::string src = read_file(example_path("fig1.hic"));
+  for (sim::OrgKind org :
+       {sim::OrgKind::Arbitrated, sim::OrgKind::EventDriven}) {
+    Built b = build(src, org);
+    Explorer ex(b.model, {});
+    EXPECT_TRUE(ex.run());
+    EXPECT_TRUE(ex.complete());
+    EXPECT_FALSE(ex.deadlock_found());
+    EXPECT_GT(ex.num_states(), 0u);
+    EXPECT_GT(ex.num_transitions(), 0u);
+  }
+}
+
+TEST(ExploreTest, TripleCycleDeadlocksWithMinimalCex) {
+  const std::string src = read_file(fixture_path("triple_cycle.hic"));
+  for (sim::OrgKind org :
+       {sim::OrgKind::Arbitrated, sim::OrgKind::EventDriven}) {
+    Built b = build(src, org);
+    Explorer ex(b.model, {});
+    EXPECT_TRUE(ex.run());
+    ASSERT_TRUE(ex.deadlock_found());
+    const Counterexample& cex = ex.deadlock();
+    // Circular wait wedges immediately: every thread blocks at its first
+    // guarded read, so the minimal schedule only starts the passes.
+    EXPECT_LE(cex.steps.size(), 3u);
+    ASSERT_EQ(cex.blocked.size(), 3u);
+    for (const BlockedThread& bt : cex.blocked) {
+      EXPECT_EQ(bt.op.kind, SyncOp::Kind::Consume);
+      EXPECT_FALSE(bt.reason.empty());
+    }
+    const std::string rendered = ex.render(cex);
+    EXPECT_NE(rendered.find("consume"), std::string::npos);
+  }
+}
+
+TEST(ExploreTest, PorAgreesWithFullSearch) {
+  // POR must preserve deadlock verdicts and shared-controller reachability
+  // while (typically) shrinking the state count.
+  for (const char* name : {"fig1.hic", "pipeline.hic"}) {
+    const std::string src = read_file(example_path(name));
+    for (sim::OrgKind org :
+         {sim::OrgKind::Arbitrated, sim::OrgKind::EventDriven}) {
+      Built b = build(src, org);
+      ExploreOptions reduced;
+      ExploreOptions full;
+      full.por = false;
+      Explorer er(b.model, reduced);
+      Explorer ef(b.model, full);
+      EXPECT_TRUE(er.run());
+      EXPECT_TRUE(ef.run());
+      EXPECT_EQ(er.deadlock_found(), ef.deadlock_found()) << name;
+      EXPECT_LE(er.num_states(), ef.num_states()) << name;
+      ASSERT_EQ(er.controller_stats().size(), ef.controller_stats().size());
+      for (std::size_t i = 0; i < er.controller_stats().size(); ++i) {
+        EXPECT_EQ(er.controller_stats()[i].max_occupancy,
+                  ef.controller_stats()[i].max_occupancy)
+            << name;
+      }
+    }
+  }
+  // And on a refutable program, the verdict must also agree.
+  const std::string cyc = read_file(fixture_path("triple_cycle.hic"));
+  Built b = build(cyc, sim::OrgKind::Arbitrated);
+  ExploreOptions full;
+  full.por = false;
+  Explorer er(b.model, {});
+  Explorer ef(b.model, full);
+  EXPECT_TRUE(er.run());
+  EXPECT_TRUE(ef.run());
+  EXPECT_TRUE(er.deadlock_found());
+  EXPECT_TRUE(ef.deadlock_found());
+}
+
+TEST(ExploreTest, StateBudgetMakesSearchIncomplete) {
+  const std::string src = read_file(example_path("pipeline.hic"));
+  Built b = build(src, sim::OrgKind::Arbitrated);
+  ExploreOptions options;
+  options.max_states = 2;
+  Explorer ex(b.model, options);
+  EXPECT_FALSE(ex.run());
+  EXPECT_FALSE(ex.complete());
+  // The budget is checked between expansions, so a final frontier state's
+  // successors may overshoot slightly — but never by a full search.
+  EXPECT_LT(ex.num_states(), 20u);
+}
+
+TEST(ExploreTest, ControllerStatsStayWithinCapacity) {
+  const std::string src = read_file(example_path("stress_shared.hic"));
+  Built arb = build(src, sim::OrgKind::Arbitrated);
+  Explorer ea(arb.model, {});
+  EXPECT_TRUE(ea.run());
+  ASSERT_EQ(ea.controller_stats().size(), 1u);
+  const ControllerStats& sa = ea.controller_stats()[0];
+  // Three dependencies share the BRAM; all three entries open at once.
+  EXPECT_EQ(sa.max_occupancy, 3);
+  EXPECT_LE(sa.max_occupancy, sa.cam_capacity);
+
+  Built ed = build(src, sim::OrgKind::EventDriven);
+  Explorer ee(ed.model, {});
+  EXPECT_TRUE(ee.run());
+  const ControllerStats& se = ee.controller_stats()[0];
+  EXPECT_LT(se.max_slot, se.total_slots);
+}
+
+TEST(ExploreTest, OpEnabledTracksCountdown) {
+  const std::string src = read_file(example_path("fig1.hic"));
+  Built b = build(src, sim::OrgKind::Arbitrated);
+  Explorer ex(b.model, {});
+  ASSERT_TRUE(ex.run());
+  const DepModel& d = b.model.deps()[0];
+  const NodeModel& prod =
+      b.model.threads()[static_cast<std::size_t>(d.producer_thread)]
+          .nodes[static_cast<std::size_t>(d.producer_node)];
+  // Initial state: countdown 0, so produce enabled, consume blocked.
+  const State& init = ex.state(0);
+  EXPECT_TRUE(ex.op_enabled(init, prod.ops[0]));
+  const auto& site = d.consume_sites[0];
+  const NodeModel& cons =
+      b.model.threads()[static_cast<std::size_t>(site.thread)]
+          .nodes[static_cast<std::size_t>(site.node)];
+  EXPECT_FALSE(ex.op_enabled(init, cons.ops[0]));
+}
+
+}  // namespace
+}  // namespace hicsync::verify

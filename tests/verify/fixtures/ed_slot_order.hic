@@ -1,0 +1,33 @@
+// Seeded hazard that only the model checker sees — hic-lint is silent (no
+// produce/consume cycle exists, only schedule/timing hazards). Two
+// distinct refutations:
+//  * event-driven: the schedule serves d1's slots before d2's
+//    (dependencies are scheduled in the producer's program order), but c1
+//    reads d2 before d1 — after p's first produce the selection logic
+//    parks in c1's d1 slot forever. Deadlocks in 4 abstract steps and
+//    --replay reproduces it on the simulator.
+//  * arbitrated: reachable only through token stealing — c2 perpetually
+//    outruns c1 and drains d1's countdown twice per round (the §3.1 list
+//    does not track *which* consumer read), wedging p at the d2 produce.
+//    Real in the abstract may-semantics (e.g. if c1 were gated or slow),
+//    but --replay reports NOT reproduced under the simulator's fair
+//    round-robin, which never lets c2 overtake c1's standing request.
+thread p () {
+  int x1, x2, s;
+  #consumer{d1, [c1,w1], [c2,v2]}
+  x1 = f(s);
+  #consumer{d2, [c1,u1]}
+  x2 = f2(s);
+}
+thread c1 () {
+  int u1, w1;
+  #producer{d2, [p,x2]}
+  u1 = g(x2);
+  #producer{d1, [p,x1]}
+  w1 = g2(x1, u1);
+}
+thread c2 () {
+  int v2, r;
+  #producer{d1, [p,x1]}
+  v2 = g(x1, r);
+}

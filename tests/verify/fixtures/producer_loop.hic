@@ -1,0 +1,20 @@
+// Seeded liveness hazard: p may spin in a data-dependent loop before
+// producing m. Branch outcomes are nondeterministic in the abstract
+// semantics, so other threads can take unboundedly many steps while c sits
+// at its guarded read — the blocking bound for c exists only under a
+// loop-termination assumption the checker cannot discharge. Expected: both
+// organizations prove deadlock-freedom but warn verify-blocking-unbounded
+// for c's read of m.
+thread p () {
+  int x, s, t;
+  while (s != 0) {
+    t = f(t);
+  }
+  #consumer{m, [c,y]}
+  x = g(s);
+}
+thread c () {
+  int y, r;
+  #producer{m, [p,x]}
+  y = h(x, r);
+}

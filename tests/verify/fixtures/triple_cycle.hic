@@ -1,0 +1,27 @@
+// Seeded hazard: a three-thread circular wait. Each thread consumes its
+// predecessor's dependency before producing its own, so every schedule
+// wedges in the initial state with all three threads blocked at their
+// guarded reads. Expected: hic-verify refutes deadlock-freedom under both
+// organizations with an empty minimal schedule (modulo pass starts), and
+// --replay reproduces the wedge on the cycle-accurate simulator.
+thread t1 () {
+  int a, r1;
+  #producer{mc, [t3,c]}
+  r1 = f(c);
+  #consumer{ma, [t2,p2]}
+  a = g(r1);
+}
+thread t2 () {
+  int b, p2;
+  #producer{ma, [t1,a]}
+  p2 = f(a);
+  #consumer{mb, [t3,p3]}
+  b = g(p2);
+}
+thread t3 () {
+  int c, p3;
+  #producer{mb, [t2,b]}
+  p3 = f(b);
+  #consumer{mc, [t1,r1]}
+  c = g(p3);
+}

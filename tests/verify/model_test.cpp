@@ -1,0 +1,126 @@
+// ProgramModel construction: thread automata, sync-op classification,
+// controller abstraction parameters and the restart edge.
+#include "verify/model.h"
+
+#include <gtest/gtest.h>
+
+#include "verify_test_util.h"
+
+namespace hicsync::verify {
+namespace {
+
+using verify_test::compile_for_verify;
+using verify_test::example_path;
+using verify_test::read_file;
+
+class ModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    compiled_ = compile_for_verify(read_file(example_path("fig1.hic")),
+                                   "fig1.hic");
+    ASSERT_TRUE(compiled_->ok());
+  }
+
+  [[nodiscard]] ProgramModel build(sim::OrgKind org) const {
+    return ProgramModel::build(compiled_->program(), compiled_->sema(),
+                               compiled_->memory_map(),
+                               compiled_->port_plans(), org);
+  }
+
+  std::unique_ptr<core::CompileResult> compiled_;
+};
+
+TEST_F(ModelTest, ThreadsAndIndices) {
+  ProgramModel m = build(sim::OrgKind::Arbitrated);
+  ASSERT_EQ(m.threads().size(), 3u);
+  EXPECT_EQ(m.threads()[0].name, "t1");
+  EXPECT_EQ(m.thread_index("t2"), 1);
+  EXPECT_EQ(m.thread_index("t3"), 2);
+  EXPECT_EQ(m.thread_index("nope"), -1);
+}
+
+TEST_F(ModelTest, DependencyModel) {
+  ProgramModel m = build(sim::OrgKind::Arbitrated);
+  ASSERT_EQ(m.deps().size(), 1u);
+  const DepModel& d = m.deps()[0];
+  ASSERT_NE(d.dep, nullptr);
+  EXPECT_EQ(d.dep->id, "mt1");
+  EXPECT_EQ(d.dependency_number, 2);  // two consumers
+  EXPECT_EQ(d.producer_thread, m.thread_index("t1"));
+  ASSERT_EQ(d.consume_sites.size(), 2u);
+  // Pragma order: [t2,y1] then [t3,z1].
+  EXPECT_EQ(d.consume_sites[0].thread, m.thread_index("t2"));
+  EXPECT_EQ(d.consume_sites[1].thread, m.thread_index("t3"));
+}
+
+TEST_F(ModelTest, SyncOpsClassified) {
+  ProgramModel m = build(sim::OrgKind::Arbitrated);
+  const DepModel& d = m.deps()[0];
+  const NodeModel& prod =
+      m.threads()[static_cast<std::size_t>(d.producer_thread)]
+          .nodes[static_cast<std::size_t>(d.producer_node)];
+  ASSERT_EQ(prod.ops.size(), 1u);
+  EXPECT_EQ(prod.ops[0].kind, SyncOp::Kind::Produce);
+  EXPECT_EQ(prod.ops[0].dep, 0);
+  for (std::size_t k = 0; k < d.consume_sites.size(); ++k) {
+    const auto& site = d.consume_sites[k];
+    const NodeModel& cons =
+        m.threads()[static_cast<std::size_t>(site.thread)]
+            .nodes[static_cast<std::size_t>(site.node)];
+    ASSERT_EQ(cons.ops.size(), 1u);
+    EXPECT_EQ(cons.ops[0].kind, SyncOp::Kind::Consume);
+    EXPECT_EQ(cons.ops[0].consumer, static_cast<int>(k));
+  }
+  EXPECT_EQ(m.op_str(prod.ops[0]), "produce 'mt1'");
+}
+
+TEST_F(ModelTest, RestartEdgeClosesEveryThread) {
+  ProgramModel m = build(sim::OrgKind::Arbitrated);
+  for (const ThreadModel& t : m.threads()) {
+    // Threads restart: every node must reach a successor, including Exit.
+    for (const NodeModel& n : t.nodes) {
+      EXPECT_FALSE(n.succs.empty())
+          << "thread " << t.name << " has a node without successors";
+    }
+  }
+}
+
+TEST_F(ModelTest, EventDrivenSlots) {
+  ProgramModel m = build(sim::OrgKind::EventDriven);
+  ASSERT_EQ(m.controllers().size(), 1u);
+  const ControllerModel& c = m.controllers()[0];
+  // One dependency with two consumers: producer slot + 2 consumer slots.
+  EXPECT_EQ(c.total_slots, 3);
+  const DepModel& d = m.deps()[0];
+  const NodeModel& prod =
+      m.threads()[static_cast<std::size_t>(d.producer_thread)]
+          .nodes[static_cast<std::size_t>(d.producer_node)];
+  EXPECT_EQ(prod.ops[0].slot, 0);  // producer first, then consumers
+  for (std::size_t k = 0; k < d.consume_sites.size(); ++k) {
+    const auto& site = d.consume_sites[k];
+    const NodeModel& cons =
+        m.threads()[static_cast<std::size_t>(site.thread)]
+            .nodes[static_cast<std::size_t>(site.node)];
+    EXPECT_EQ(cons.ops[0].slot, static_cast<int>(k) + 1);
+  }
+}
+
+TEST_F(ModelTest, FairnessWindows) {
+  ProgramModel arb = build(sim::OrgKind::Arbitrated);
+  ProgramModel ed = build(sim::OrgKind::EventDriven);
+  ASSERT_EQ(arb.controllers().size(), 1u);
+  const ControllerModel& c = arb.controllers()[0];
+  // Arbitrated: (consumer_ports - 1) + producer_ports + 1, min 1.
+  int expect = (c.consumer_ports - 1) + c.producer_ports + 1;
+  if (expect < 1) expect = 1;
+  EXPECT_EQ(arb.fairness_window(0), expect);
+  EXPECT_EQ(ed.fairness_window(0), 1);
+}
+
+TEST_F(ModelTest, CamCapacityFromAllocator) {
+  ProgramModel m = build(sim::OrgKind::Arbitrated);
+  EXPECT_GE(m.controllers()[0].cam_capacity, 1);
+}
+
+}  // namespace
+}  // namespace hicsync::verify
