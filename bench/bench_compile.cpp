@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_gbench_util.h"
+#include "bound/bound.h"
 #include "core/compiler.h"
 #include "fpga/techmap.h"
 #include "hic/parser.h"
@@ -54,6 +55,29 @@ static void BM_FullCompileFanoutProfiled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullCompileFanoutProfiled)->Arg(8);
+
+// hic-bound over the Table 1/2 fan-out ladder: the compile (front end +
+// allocation + port planning, lint-only) happens once outside the loop;
+// the measured region is the abstract interpretation itself — the
+// milliseconds-at-1024 claim behind the static analysis.
+static void BM_BoundAnalysisFanout(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::CompileOptions copts;
+  copts.lint.enabled = true;
+  copts.lint.only = true;
+  core::Compiler compiler(copts);
+  auto c = compiler.compile(netapp::fanout_source(n));
+  bound::BoundOptions bopts;
+  bopts.enabled = true;
+  for (auto _ : state) {
+    bound::BoundResult r =
+        bound::run_bound(c->program(), c->sema(), c->memory_map(),
+                         c->port_plans(), sim::OrgKind::Arbitrated, bopts);
+    benchmark::DoNotOptimize(r.worklist_steps);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_BoundAnalysisFanout)->Arg(64)->Arg(256)->Arg(1024);
 
 // Cost of one disabled ScopedPhase bracket (the default path every
 // Compiler::compile pays): a null-check on entry and exit.
@@ -131,7 +155,36 @@ static bool assert_disabled_profiler_is_a_branch() {
   return ok;
 }
 
+// Asserted invariant (hic-perf convention): the bound phase is strictly
+// opt-in. A profiled compile without --bound must not contain a "bound"
+// pass; with it, the pass and its counters must appear.
+static bool assert_bound_phase_is_opt_in() {
+  auto has_bound_phase = [](bool enabled) {
+    perf::PassTimer timer;
+    core::CompileOptions options;
+    options.profiler = &timer;
+    options.lint.enabled = true;
+    options.lint.only = true;
+    options.bound.enabled = enabled;
+    core::Compiler compiler(options);
+    auto r = compiler.compile(netapp::figure1_source());
+    if (!r->ok()) return true;  // force a FAIL either way
+    for (const perf::PassTimer::Phase& p : timer.phases()) {
+      if (p.name == "bound") return true;
+    }
+    return false;
+  };
+  const bool off = has_bound_phase(false);
+  const bool on = has_bound_phase(true);
+  const bool ok = !off && on;
+  std::printf("bound phase opt-in: disabled=%s enabled=%s — %s\n",
+              off ? "present" : "absent", on ? "present" : "absent",
+              ok ? "ok" : "FAIL");
+  return ok;
+}
+
 int main(int argc, char** argv) {
   if (!assert_disabled_profiler_is_a_branch()) return 1;
+  if (!assert_bound_phase_is_opt_in()) return 1;
   return hicsync::bench::run_gbench_with_json(argc, argv, "compile");
 }

@@ -1,0 +1,141 @@
+#include "bound/counters.h"
+
+#include <map>
+#include <tuple>
+
+#include "bound/engine.h"
+
+namespace hicsync::bound {
+
+namespace {
+
+/// Vector-of-intervals domain: one counter per tracked op of the thread.
+class CounterDomain {
+ public:
+  using Value = std::vector<Interval>;
+
+  CounterDomain(const verify::ThreadModel& tm, std::size_t num_counters,
+                const std::map<std::tuple<int, int, int>, std::size_t>& index)
+      : tm_(tm), num_(num_counters), index_(index) {}
+
+  [[nodiscard]] Value bottom() const { return Value(num_, Interval::bottom()); }
+  [[nodiscard]] Value entry_value() const {
+    return Value(num_, Interval::exact(0));
+  }
+  bool join(Value& into, const Value& from) const {
+    bool changed = false;
+    for (std::size_t i = 0; i < num_; ++i) {
+      changed = into[i].join_with(from[i]) || changed;
+    }
+    return changed;
+  }
+  void widen(Value& into, const Value& from) const {
+    for (std::size_t i = 0; i < num_; ++i) into[i].widen_with(from[i]);
+  }
+  [[nodiscard]] Value transfer(const analysis::CfgNode& n,
+                               const Value& in) const {
+    Value out = in;
+    for (const verify::SyncOp& op :
+         tm_.nodes[static_cast<std::size_t>(n.id)].ops) {
+      auto it = index_.find(key(op));
+      if (it != index_.end()) out[it->second] = out[it->second].plus(1);
+    }
+    return out;
+  }
+
+  [[nodiscard]] static std::tuple<int, int, int> key(
+      const verify::SyncOp& op) {
+    return {static_cast<int>(op.kind), op.dep,
+            op.kind == verify::SyncOp::Kind::Consume ? op.consumer : -1};
+  }
+
+ private:
+  const verify::ThreadModel& tm_;
+  std::size_t num_;
+  const std::map<std::tuple<int, int, int>, std::size_t>& index_;
+};
+
+}  // namespace
+
+const OpCount* ThreadCounters::find(verify::SyncOp::Kind kind, int dep,
+                                    int consumer) const {
+  for (const OpCount& oc : ops) {
+    if (oc.kind == kind && oc.dep == dep &&
+        (kind == verify::SyncOp::Kind::Produce || oc.consumer == consumer)) {
+      return &oc;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<ThreadCounters> count_sync_ops(const verify::ProgramModel& model) {
+  std::vector<ThreadCounters> out;
+  for (std::size_t ti = 0; ti < model.threads().size(); ++ti) {
+    const verify::ThreadModel& tm = model.threads()[ti];
+    ThreadCounters tc;
+    tc.thread = static_cast<int>(ti);
+
+    // Aggregate duplicate sites (e.g. duplicate-producer-write fixtures)
+    // into one counter per (kind, dep, consumer).
+    std::map<std::tuple<int, int, int>, std::size_t> index;
+    for (const verify::NodeModel& n : tm.nodes) {
+      for (const verify::SyncOp& op : n.ops) {
+        auto k = CounterDomain::key(op);
+        if (index.find(k) == index.end()) {
+          index.emplace(k, tc.ops.size());
+          OpCount oc;
+          oc.kind = op.kind;
+          oc.dep = op.dep;
+          oc.consumer = op.kind == verify::SyncOp::Kind::Consume
+                            ? op.consumer
+                            : -1;
+          tc.ops.push_back(oc);
+        }
+      }
+    }
+    if (tc.ops.empty()) {
+      out.push_back(std::move(tc));
+      continue;
+    }
+
+    CounterDomain dom(tm, tc.ops.size(), index);
+    auto result = WorklistSolver<CounterDomain>::solve(tm.cfg, dom);
+    tc.worklist_steps = result.steps;
+    tc.widened = result.widened;
+
+    // Per-pass counts: the OUT of Exit. A thread that can never complete
+    // a pass (Exit unreachable — e.g. an unconditional infinite loop)
+    // leaves Exit at bottom; fall back to the join over every node so
+    // in-loop ops still count.
+    std::vector<Interval> at_exit =
+        result.out[static_cast<std::size_t>(tm.cfg.exit())];
+    if (!at_exit.empty() && at_exit[0].is_bottom()) {
+      at_exit.assign(tc.ops.size(), Interval::bottom());
+      for (std::size_t n = 0; n < result.out.size(); ++n) {
+        for (std::size_t i = 0; i < tc.ops.size(); ++i) {
+          at_exit[i].join_with(result.out[n][i]);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < tc.ops.size(); ++i) {
+      tc.ops[i].per_pass =
+          at_exit[i].is_bottom() ? Interval::exact(0) : at_exit[i];
+    }
+
+    // Reachability per op: any site whose IN is non-bottom. (A counter can
+    // be 0-valued at Exit yet reachable — op under a branch — and a
+    // nonzero Exit interval of an aggregated counter does not say *which*
+    // site ran, so reachability is judged at the sites.)
+    for (std::size_t ni = 0; ni < tm.nodes.size(); ++ni) {
+      if (result.in[ni].empty() || result.in[ni][0].is_bottom()) continue;
+      for (const verify::SyncOp& op : tm.nodes[ni].ops) {
+        auto it = index.find(CounterDomain::key(op));
+        if (it != index.end()) tc.ops[it->second].reachable = true;
+      }
+    }
+    out.push_back(std::move(tc));
+  }
+  return out;
+}
+
+}  // namespace hicsync::bound

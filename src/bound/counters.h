@@ -1,0 +1,55 @@
+// hic-bound: per-pass synchronization-op counting, the shared front half
+// of every client analysis.
+//
+// For each thread the engine runs an interval analysis whose abstract
+// value is a vector of counters, one per sync op the thread performs
+// (produce of dependency d / consume endpoint (d, k)). The transfer
+// function of a node adds 1 to each counter of the node's ops; branches
+// join, loops widen. The OUT value at Exit is then the per-pass count
+// interval of every op — [1,1] for an unavoidable straight-line op,
+// [0,1] for one under a branch, [0,inf) for one inside a loop, and a
+// counter whose every site is unreachable stays 0 with `reachable`
+// false.
+//
+// Branch conditions are nondeterministic in the model (exactly as in
+// hic-verify), so these counts over-approximate every real execution:
+// trip counts are never trusted, which is what keeps the clients' bounds
+// ≥ the checker's exact values.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bound/lattice.h"
+#include "verify/model.h"
+
+namespace hicsync::bound {
+
+/// One tracked sync op of one thread, with its per-pass count interval.
+struct OpCount {
+  verify::SyncOp::Kind kind = verify::SyncOp::Kind::Consume;
+  int dep = -1;       // index into ProgramModel::deps()
+  int consumer = -1;  // Consume: index within the dependency's consumers
+  /// True when at least one CFG site of this op is reachable from the
+  /// thread entry.
+  bool reachable = false;
+  /// Executions per run-to-completion pass of the thread.
+  Interval per_pass = Interval::exact(0);
+};
+
+/// Counter summary of one thread.
+struct ThreadCounters {
+  int thread = -1;
+  std::vector<OpCount> ops;
+  std::uint64_t worklist_steps = 0;
+  bool widened = false;
+
+  [[nodiscard]] const OpCount* find(verify::SyncOp::Kind kind, int dep,
+                                    int consumer) const;
+};
+
+/// Runs the counter analysis for every thread of `model`.
+[[nodiscard]] std::vector<ThreadCounters> count_sync_ops(
+    const verify::ProgramModel& model);
+
+}  // namespace hicsync::bound

@@ -1,0 +1,61 @@
+// hic-bound client 3: dead-port / dead-FF reachability tightening.
+//
+// The port planner attaches a C (consumer) or D (producer) pseudo-port for
+// every thread that *syntactically* touches a dependency on a BRAM. The
+// dataflow solver knows more: when none of a client's sync sites are
+// reachable in its thread's CFG, the pseudo-port can never raise a request
+// and its arbitration slot, eligibility register, and operand-mux leg are
+// dead fabric — the Tables 1–2 area rows the ISSUE asks to tighten.
+//
+// This client is report-only by default: it names each dead pseudo-port
+// and totals an estimated flip-flop saving (one eligibility FF per dead
+// pseudo-port plus, for each fully-dead dependency entry, its countdown
+// register of clog2(N+1) bits and valid bit — see memorg/arbitrated.cpp
+// for the registers in question). Pruning itself happens through the
+// memalloc::DepListHint path, which only removes clients whose every
+// dependency is provably fully dead (behavior-preserving); a port that is
+// dead but whose dependencies still guard live consumers is reported and
+// kept.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bound/counters.h"
+#include "memalloc/portplan.h"
+#include "verify/model.h"
+
+namespace hicsync::bound {
+
+/// One pseudo-port the solver proved can never raise a request.
+struct DeadPort {
+  int bram_id = -1;
+  std::string thread;
+  memalloc::LogicalPort port = memalloc::LogicalPort::C;
+  int pseudo_port = -1;
+  /// Every dependency of the client is fully dead, so the DepListHint
+  /// pruning will drop the client entirely.
+  bool prunable = false;
+  std::string note;
+};
+
+/// Dead-port findings for one BRAM's port plan.
+struct DeadPortReport {
+  int bram_id = -1;
+  int planned_consumer_ports = 0;
+  int planned_producer_ports = 0;
+  int live_consumer_ports = 0;
+  int live_producer_ports = 0;
+  /// Estimated register bits freed if the dead ports and fully-dead
+  /// entries are pruned (eligibility FFs + countdown/valid bits).
+  std::uint64_t ff_bits_saved = 0;
+  std::vector<DeadPort> dead;
+};
+
+/// Runs the dead-port client over every port plan.
+[[nodiscard]] std::vector<DeadPortReport> dead_ports(
+    const verify::ProgramModel& model,
+    const std::vector<memalloc::BramPortPlan>& plans,
+    const std::vector<ThreadCounters>& counters);
+
+}  // namespace hicsync::bound

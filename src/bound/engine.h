@@ -1,0 +1,107 @@
+// hic-bound: generic monotone worklist solver over a thread CFG.
+//
+// Forward dataflow in the classic Kildall shape: per-node IN/OUT values
+// over an abstract domain, iterated to fixpoint in reverse post-order
+// (analysis::Cfg::reverse_post_order, the order that settles acyclic
+// regions in one sweep). Nodes whose OUT keeps changing past
+// kWidenThreshold updates are widened — with the interval domain that
+// means loops (for/while back edges) converge after one extra visit
+// instead of ascending forever.
+//
+// Domain concept (see counters.cpp for the canonical instantiation):
+//   using Value = ...;                      // copyable
+//   Value bottom() const;                   // join identity / unreachable
+//   Value entry_value() const;              // state at the thread entry
+//   bool  join(Value& into, const Value& from) const;   // true if grown
+//   void  widen(Value& into, const Value& from) const;
+//   Value transfer(const analysis::CfgNode& n, const Value& in) const;
+//
+// Every transfer must be monotone and every widening must bound ascending
+// chains; under those two conditions solve() terminates with a sound
+// post-fixpoint (docs/ANALYSIS.md walks through the argument and through
+// writing a new client).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace hicsync::bound {
+
+template <typename Domain>
+class WorklistSolver {
+ public:
+  struct Result {
+    std::vector<typename Domain::Value> in;
+    std::vector<typename Domain::Value> out;
+    /// Node visits until fixpoint (profiled as bound.worklist_steps).
+    std::uint64_t steps = 0;
+    /// True when any node needed widening (a loop carried the counters).
+    bool widened = false;
+  };
+
+  /// OUT updates per node before widening kicks in. Three lets the common
+  /// straight-line and single-loop shapes settle exactly before any
+  /// precision is given up.
+  static constexpr int kWidenThreshold = 3;
+
+  [[nodiscard]] static Result solve(const analysis::Cfg& cfg,
+                                    const Domain& dom) {
+    const std::size_t n = cfg.nodes().size();
+    Result r;
+    r.in.assign(n, dom.bottom());
+    r.out.assign(n, dom.bottom());
+
+    // Priority worklist keyed by RPO position: always settle the earliest
+    // pending node, so acyclic stretches are single-pass.
+    std::vector<int> rpo = cfg.reverse_post_order();
+    std::vector<int> pos(n, static_cast<int>(n));
+    for (std::size_t i = 0; i < rpo.size(); ++i) {
+      pos[static_cast<std::size_t>(rpo[i])] = static_cast<int>(i);
+    }
+    std::vector<char> pending(n, 0);
+    std::vector<int> updates(n, 0);
+
+    auto push = [&](int id) { pending[static_cast<std::size_t>(id)] = 1; };
+    push(cfg.entry());
+
+    while (true) {
+      // Lowest-RPO pending node; n is tiny per thread, linear scan wins.
+      int node = -1;
+      for (int cand : rpo) {
+        if (pending[static_cast<std::size_t>(cand)]) {
+          node = cand;
+          break;
+        }
+      }
+      if (node < 0) break;
+      std::size_t ni = static_cast<std::size_t>(node);
+      pending[ni] = 0;
+      ++r.steps;
+
+      typename Domain::Value in_v =
+          node == cfg.entry() ? dom.entry_value() : dom.bottom();
+      for (int pred : cfg.node(node).preds) {
+        dom.join(in_v, r.out[static_cast<std::size_t>(pred)]);
+      }
+      r.in[ni] = in_v;
+
+      typename Domain::Value out_v = dom.transfer(cfg.node(node), in_v);
+      typename Domain::Value merged = r.out[ni];
+      if (!dom.join(merged, out_v)) continue;
+      if (++updates[ni] > kWidenThreshold) {
+        // Widen the previous OUT against the grown one: any bound still
+        // moving jumps to its extreme (result ⊇ merged, so still sound).
+        dom.widen(r.out[ni], merged);
+        r.widened = true;
+      } else {
+        r.out[ni] = merged;
+      }
+      for (int succ : cfg.node(node).succs) push(succ);
+    }
+    return r;
+  }
+};
+
+}  // namespace hicsync::bound

@@ -1,0 +1,24 @@
+#include "bound/lattice.h"
+
+#include "support/strings.h"
+
+namespace hicsync::bound {
+
+std::string Interval::str() const {
+  if (is_bottom()) return "empty";
+  if (hi == kInf) {
+    return support::format("[%llu, inf)", static_cast<unsigned long long>(lo));
+  }
+  return support::format("[%llu, %llu]", static_cast<unsigned long long>(lo),
+                         static_cast<unsigned long long>(hi));
+}
+
+std::string AffineCounter::str(const std::string& dep_id) const {
+  return support::format(
+      "countdown(%s) = %llu*rounds - drains, rounds in %s, drains/pass in "
+      "%s, guard-invariant clamp -> %s",
+      dep_id.c_str(), static_cast<unsigned long long>(scale),
+      rounds.str().c_str(), drains.str().c_str(), countdown().str().c_str());
+}
+
+}  // namespace hicsync::bound

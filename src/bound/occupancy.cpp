@@ -1,0 +1,96 @@
+#include "bound/occupancy.h"
+
+#include "support/strings.h"
+
+namespace hicsync::bound {
+
+OccupancyResult occupancy_bounds(const verify::ProgramModel& model,
+                                 const std::vector<ThreadCounters>& counters,
+                                 bool explain) {
+  OccupancyResult r;
+  for (std::size_t ci = 0; ci < model.controllers().size(); ++ci) {
+    const verify::ControllerModel& cm = model.controllers()[ci];
+    OccupancyBound ob;
+    ob.bram_id = cm.bram_id;
+    ob.controller = static_cast<int>(ci);
+    ob.capacity = cm.cam_capacity;
+    ob.total_slots = cm.total_slots;
+    if (cm.total_slots > 0) {
+      // The slot counter is a mod-total counter; its range needs no
+      // fixpoint, only the modulus.
+      ob.slot = Interval::range(
+          0, static_cast<std::uint64_t>(cm.total_slots) - 1);
+    }
+
+    std::uint64_t open_hi = 0;
+    for (int di : cm.deps) {
+      const verify::DepModel& dm =
+          model.deps()[static_cast<std::size_t>(di)];
+      DepBound db;
+      db.dep = di;
+      db.id = dm.dep->id;
+
+      const OpCount* prod =
+          dm.producer_thread >= 0
+              ? counters[static_cast<std::size_t>(dm.producer_thread)].find(
+                    verify::SyncOp::Kind::Produce, di, -1)
+              : nullptr;
+      db.produces_per_pass =
+          prod != nullptr ? prod->per_pass : Interval::exact(0);
+      db.dead_produce = prod == nullptr || !prod->reachable;
+
+      bool any_consume_reachable = false;
+      for (std::size_t k = 0; k < dm.consume_sites.size(); ++k) {
+        const verify::DepModel::ConsumeSite& site = dm.consume_sites[k];
+        if (site.thread < 0) continue;
+        const OpCount* cons =
+            counters[static_cast<std::size_t>(site.thread)].find(
+                verify::SyncOp::Kind::Consume, di, static_cast<int>(k));
+        if (cons != nullptr && cons->reachable) any_consume_reachable = true;
+      }
+      db.fully_dead = db.dead_produce && !any_consume_reachable;
+
+      db.counter.scale =
+          static_cast<std::uint64_t>(dm.dependency_number > 0
+                                         ? dm.dependency_number
+                                         : 1);
+      db.counter.rounds = db.dead_produce
+                              ? Interval::exact(0)
+                              : Interval::range(0, kInf);
+      db.counter.drains =
+          db.dead_produce ? Interval::exact(0)
+                          : Interval::range(0, db.counter.scale);
+      db.countdown = db.counter.countdown();
+      if (!db.countdown.is_bottom() && db.countdown.hi > 0) ++open_hi;
+
+      if (explain) {
+        db.provenance.push_back(support::format(
+            "produce('%s') per pass in %s (%s)", db.id.c_str(),
+            db.produces_per_pass.str().c_str(),
+            db.dead_produce ? "no reachable produce site"
+                            : "reachable in the producer's CFG"));
+        db.provenance.push_back(db.counter.str(db.id));
+        db.provenance.push_back(support::format(
+            "entry('%s') open (countdown > 0) in %s -> contributes %s to "
+            "the occupancy sum",
+            db.id.c_str(), db.countdown.str().c_str(),
+            db.countdown.hi > 0 ? "[0, 1]" : "[0, 0]"));
+      }
+      ob.deps.push_back(std::move(db));
+    }
+    ob.occupancy = Interval::range(0, open_hi);
+
+    memalloc::DepListHint hint;
+    hint.bram_id = cm.bram_id;
+    hint.capacity = cm.cam_capacity;
+    hint.occupancy_hi = static_cast<int>(open_hi);
+    for (const DepBound& db : ob.deps) {
+      if (db.fully_dead) hint.dead_deps.push_back(db.id);
+    }
+    if (hint.shrinks()) r.hints.push_back(std::move(hint));
+    r.controllers.push_back(std::move(ob));
+  }
+  return r;
+}
+
+}  // namespace hicsync::bound

@@ -1,0 +1,67 @@
+// hic-bound client 1: static dependency-list occupancy bounds.
+//
+// Per controller, a sound interval on the number of dependency-list
+// entries simultaneously open (countdown > 0) — the §3.1 CAM occupancy
+// hic-verify measures exactly by enumeration, derived here in polynomial
+// time from per-pass produce counts: an entry can be open only if some
+// produce site of its dependency is reachable, so
+//   occupancy ⊆ [0, #deps with a reachable produce].
+// Compared against the capacity memalloc bakes in and distilled into a
+// memalloc::DepListHint so the generators can drop provably dead entries
+// (and their pseudo-ports) — the sizing feedback loop the ISSUE's
+// motivation cites. Event-driven controllers get the analogous slot
+// bound [0, total_slots-1].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bound/counters.h"
+#include "bound/lattice.h"
+#include "memalloc/sizing.h"
+#include "verify/model.h"
+
+namespace hicsync::bound {
+
+/// Static bound for one dependency-list entry.
+struct DepBound {
+  int dep = -1;             // index into ProgramModel::deps()
+  std::string id;           // dependency id
+  /// No produce site is reachable: the entry can never open; consumers
+  /// that do reach their read block forever.
+  bool dead_produce = false;
+  /// Additionally, no consume site is reachable either: the entry is
+  /// removable (listed in the sizing hint's dead_deps).
+  bool fully_dead = false;
+  Interval produces_per_pass = Interval::exact(0);
+  AffineCounter counter;    // countdown derivation (--explain)
+  Interval countdown;       // [0,0] dead, [0,N] live
+  /// One provenance line per derivation step (--explain).
+  std::vector<std::string> provenance;
+};
+
+/// Static occupancy bound for one controller.
+struct OccupancyBound {
+  int bram_id = -1;
+  int controller = -1;
+  /// Dependency-list entries the generator would bake in.
+  int capacity = 0;
+  /// Sound interval on simultaneously open entries (arbitrated).
+  Interval occupancy = Interval::exact(0);
+  /// Sound interval on the schedule slot counter (event-driven).
+  Interval slot = Interval::exact(0);
+  int total_slots = 0;
+  std::vector<DepBound> deps;
+};
+
+struct OccupancyResult {
+  std::vector<OccupancyBound> controllers;
+  std::vector<memalloc::DepListHint> hints;
+};
+
+/// Runs the occupancy client over the counter summaries.
+[[nodiscard]] OccupancyResult occupancy_bounds(
+    const verify::ProgramModel& model,
+    const std::vector<ThreadCounters>& counters, bool explain);
+
+}  // namespace hicsync::bound

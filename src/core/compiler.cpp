@@ -5,6 +5,7 @@
 #include "analysis/depgraph.h"
 #include "hic/infer.h"
 #include "hic/parser.h"
+#include "memalloc/sizing.h"
 #include "memorg/arbitrated.h"
 #include "memorg/eventdriven.h"
 #include "rtl/verilog.h"
@@ -184,10 +185,30 @@ std::unique_ptr<CompileResult> Compiler::compile(
         lint_driver.run(lint::Stage::PreGenerate, *lint_ctx);
     r.lint_errors_ += static_cast<std::size_t>(s.errors);
     r.lint_warnings_ += static_cast<std::size_t>(s.warnings);
-    if (options_.lint.only) {
-      r.ok_ = true;
-      return result;
+  }
+
+  // hic-bound: abstract-interpretation bounds on occupancy, blocking, and
+  // dead ports (docs/ANALYSIS.md). Runs before the lint-only early exit so
+  // `--bound --lint-only` composes (the clients need no RTL, only the
+  // memory map and port plans). Exceeded bounds surface as bound-* check
+  // IDs; like lint and verify they do not flip ok().
+  if (options_.bound.enabled) {
+    perf::ScopedPhase phase(prof, "bound");
+    bound::BoundResult br =
+        bound::run_bound(r.program_, *r.sema_, r.map_, r.plans_,
+                         options_.organization, options_.bound);
+    r.bound_errors_ += bound::report_findings(br, *r.sema_, r.diags_);
+    if (prof != nullptr) {
+      prof->set_count("bound.controllers", br.occupancy.size());
+      prof->set_count("bound.endpoints", br.blocking.size());
+      prof->set_count("bound.worklist_steps", br.worklist_steps);
     }
+    r.bound_results_.push_back(std::move(br));
+  }
+
+  if (options_.lint.enabled && options_.lint.only) {
+    r.ok_ = true;
+    return result;
   }
 
   // hic-verify: explicit-state model checking of the synchronization
@@ -215,23 +236,42 @@ std::unique_ptr<CompileResult> Compiler::compile(
       if (p.bram_id == bram.id) plan = &p;
     }
     if (plan == nullptr) continue;
+
+    // hic-bound sizing feedback: drop provably dead dependency-list
+    // entries (and pseudo-ports left with no deps) before generating.
+    const memalloc::BramInstance* gen_bram = &bram;
+    const memalloc::BramPortPlan* gen_plan = plan;
+    memalloc::PrunedBram pruned;
+    if (options_.bound.apply_sizing && !r.bound_results_.empty()) {
+      for (const memalloc::DepListHint& hint :
+           r.bound_results_.back().sizing_hints) {
+        if (hint.bram_id != bram.id || hint.dead_deps.empty()) continue;
+        pruned = memalloc::apply_dep_list_hint(bram, *plan, hint);
+        gen_bram = &pruned.bram;
+        gen_plan = &pruned.plan;
+      }
+    }
+
     BramReport report;
     report.bram_id = bram.id;
-    report.consumers = plan->consumer_pseudo_ports();
-    report.producers = plan->producer_pseudo_ports();
-    report.dependencies = static_cast<int>(bram.dependencies.size());
+    report.consumers = gen_plan->consumer_pseudo_ports();
+    report.producers = gen_plan->producer_pseudo_ports();
+    report.dependencies = static_cast<int>(gen_bram->dependencies.size());
+    report.pruned_deps = pruned.removed_deps;
+    report.pruned_ports =
+        pruned.removed_consumer_ports + pruned.removed_producer_ports;
     report.module_name = "memorg_bram" + std::to_string(bram.id);
     rtl::Module* m = nullptr;
     {
       perf::ScopedPhase phase(prof, "memorg");
       if (options_.organization == sim::OrgKind::Arbitrated) {
         memorg::ArbitratedConfig cfg =
-            memorg::arbitrated_config_from(bram, *plan);
+            memorg::arbitrated_config_from(*gen_bram, *gen_plan);
         cfg.use_cam = options_.use_cam;
         m = &memorg::generate_arbitrated(r.design_, cfg, report.module_name);
       } else {
         memorg::EventDrivenConfig cfg =
-            memorg::eventdriven_config_from(bram, *plan);
+            memorg::eventdriven_config_from(*gen_bram, *gen_plan);
         m = &memorg::generate_eventdriven(r.design_, cfg, report.module_name);
       }
     }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "analysis/lint/lint.h"
+#include "bound/bound.h"
 #include "fpga/techmap.h"
 #include "fpga/timing.h"
 #include "hic/sema.h"
@@ -45,6 +46,14 @@ struct CompileOptions {
   /// planning for the selected organization; refutations surface as
   /// diagnostics (hicc exits 5) without flipping ok().
   verify::VerifyOptions verify;
+  /// hic-bound: abstract-interpretation dataflow bounds (occupancy vs CAM
+  /// capacity, worst-case blocking, dead ports; docs/ANALYSIS.md). Runs
+  /// after port planning — before the lint-only early exit, so
+  /// `--bound --lint-only` composes — and its shrinking sizing hints feed
+  /// the memory-organization generators when `bound.apply_sizing` is set.
+  /// Findings surface as bound-* diagnostics (hicc exits 6) without
+  /// flipping ok().
+  bound::BoundOptions bound;
   /// Name stamped onto diagnostics (and json output); typically the path
   /// the driver read the source from.
   std::string source_name;
@@ -63,6 +72,10 @@ struct BramReport {
   int consumers = 0;
   int producers = 0;
   int dependencies = 0;
+  /// Dead entries / pseudo-ports removed by a hic-bound sizing hint
+  /// before generation (0 unless bound.apply_sizing pruned something).
+  int pruned_deps = 0;
+  int pruned_ports = 0;
   fpga::MapResult area;
   fpga::TimingResult timing;
 };
@@ -114,6 +127,15 @@ class CompileResult {
   [[nodiscard]] std::size_t verify_error_count() const {
     return verify_errors_;
   }
+  /// hic-bound results (empty unless options.bound.enabled; one entry for
+  /// the compiled organization). Like lint and verify, exceeded bounds do
+  /// not flip ok(); drivers should fail on them (hicc exits 6).
+  [[nodiscard]] const std::vector<bound::BoundResult>& bound_results() const {
+    return bound_results_;
+  }
+  [[nodiscard]] std::size_t bound_error_count() const {
+    return bound_errors_;
+  }
   [[nodiscard]] const CompileOptions& options() const { return options_; }
 
   /// Generated RTL of every controller, as Verilog-2001 text.
@@ -150,6 +172,8 @@ class CompileResult {
   std::size_t lint_warnings_ = 0;
   std::vector<verify::VerifyResult> verify_results_;
   std::size_t verify_errors_ = 0;
+  std::vector<bound::BoundResult> bound_results_;
+  std::size_t bound_errors_ = 0;
 };
 
 class Compiler {

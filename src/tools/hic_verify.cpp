@@ -4,6 +4,7 @@
 //
 //   --org arbitrated|event-driven   check one organization (default: both)
 //   --max-states <n>                state budget (default 1000000)
+//   --max-depth <n>                 BFS depth budget (default unlimited)
 //   --no-por                        disable partial-order reduction
 //   --no-bounds                     skip the blocking-bound computation
 //   --replay                        re-run each refutation through the
@@ -24,8 +25,9 @@
 //   0  all checked properties proved for every requested organization
 //   1  compile error (parse/sema reported errors)
 //   2  usage error
-//   3  state budget exhausted: no refutation, but unproved properties are
-//      inconclusive (raise --max-states)
+//   3  a budget (states or depth) was exhausted: no refutation, but
+//      unproved properties are inconclusive (raise --max-states /
+//      --max-depth, or fall back to hic-bound for sound static bounds)
 //   5  a property was refuted (counterexample reported)
 
 #include <cstdio>
@@ -49,6 +51,7 @@ namespace {
 constexpr const char* kUsageBody =
     "  --org arbitrated|event-driven   (default: check both)\n"
     "  --max-states <n>\n"
+    "  --max-depth <n>\n"
     "  --no-por\n"
     "  --no-bounds\n"
     "  --replay [--replay-max-cycles <n>]\n"
@@ -98,6 +101,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--max-states") {
       vopts.max_states = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--max-depth") {
+      vopts.max_depth = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--no-por") {
       vopts.por = false;
     } else if (arg == "--no-bounds") {

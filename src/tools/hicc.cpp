@@ -55,6 +55,16 @@
 //   --verify-max-states <n>         state budget (default 1000000); exhausting
 //                                   it makes unproved properties inconclusive
 //
+// Static bounds (hic-bound; see docs/ANALYSIS.md — the standalone hic-bound
+// tool adds --explain provenance traces and both-organization runs):
+//   --bound                         abstract-interpretation bounds: dependency-
+//                                   list occupancy vs CAM capacity, worst-case
+//                                   blocking, dead ports. Composes with
+//                                   --lint-only (no RTL needed) and feeds
+//                                   sizing hints to the generators
+//   --no-bound-sizing               report bounds but leave the generated
+//                                   dependency lists untouched
+//
 // Exit status:
 //   0  success
 //   1  compile error (parse/sema/analysis reported errors)
@@ -62,6 +72,7 @@
 //   3  simulation did not converge within the cycle budget
 //   4  lint findings at error severity (including -W/--Werror promotions)
 //   5  verify refuted a property (reported with a verify-* check ID)
+//   6  a hic-bound bound was exceeded (reported with a bound-* check ID)
 
 #include <cstdio>
 #include <cstdlib>
@@ -102,10 +113,11 @@ constexpr const char* kUsageBody =
     "  --lint | --lint-only\n"
     "  -W<check> | -Wno-<check> | --Werror\n"
     "  --verify [--verify-max-states <n>]\n"
+    "  --bound [--no-bound-sizing]\n"
     "  --diag-format text|json\n"
     // NOLINTNEXTLINE(whitespace/line_length) — kept on one line so the
     // usage_docs_in_sync test can grep the whole table verbatim.
-    "exit codes: 0 ok, 1 compile error, 2 usage, 3 sim timeout, 4 lint errors, 5 verify refuted\n";
+    "exit codes: 0 ok, 1 compile error, 2 usage, 3 sim timeout, 4 lint errors, 5 verify refuted, 6 bound exceeded\n";
 
 void usage(const char* argv0) {
   std::fprintf(stderr, "usage: %s [options] <file.hic | ->\n%s", argv0,
@@ -222,6 +234,11 @@ int main(int argc, char** argv) {
       options.verify.enabled = true;
       options.verify.max_states =
           static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--bound") {
+      options.bound.enabled = true;
+    } else if (arg == "--no-bound-sizing") {
+      options.bound.enabled = true;
+      options.bound.apply_sizing = false;
     } else if (arg == "--lint") {
       options.lint.enabled = true;
     } else if (arg == "--lint-only") {
@@ -355,11 +372,15 @@ int main(int argc, char** argv) {
     for (const auto& vr : result->verify_results()) {
       std::printf("%s", vr.text().c_str());
     }
+    for (const auto& br : result->bound_results()) {
+      std::printf("%s", br.text().c_str());
+    }
   }
 
   if (result->lint_error_count() > 0) return 4;
-  if (options.lint.only) return 0;
   if (result->verify_error_count() > 0) return 5;
+  if (result->bound_error_count() > 0) return 6;
+  if (options.lint.only) return 0;
 
   if (!verilog_out.empty()) {
     std::ofstream out(verilog_out);

@@ -265,12 +265,14 @@ VerifyResult run_verify(const hic::Program& program, const hic::Sema& sema,
       ProgramModel::build(program, sema, map, plans, organization);
   ExploreOptions eo;
   eo.max_states = options.max_states;
+  eo.max_depth = options.max_depth;
   eo.por = options.por;
   eo.build_graph = options.bounds;
   Explorer ex(model, eo);
   ex.run();
 
   r.complete = ex.complete();
+  if (!r.complete) r.budget = verify::to_string(ex.budget());
   r.states = ex.num_states();
   r.transitions = ex.num_transitions();
   r.controllers = ex.controller_stats();
@@ -424,12 +426,18 @@ std::size_t report_findings(const VerifyResult& result, const hic::Sema& sema,
                  "verify-blocking-unbounded");
   }
   if (!result.complete) {
+    const char* which =
+        result.budget.empty() ? "states" : result.budget.c_str();
     diags.report(
         support::Severity::Warning, {},
-        support::format("state budget exhausted after %llu states; unproved "
+        support::format("%s budget exhausted after %llu states; unproved "
                         "properties are inconclusive, not proved "
-                        "(%s organization; raise --max-states)",
-                        static_cast<unsigned long long>(result.states), org),
+                        "(%s organization; raise --max-%s, or fall back to "
+                        "hic-bound for sound static occupancy and blocking "
+                        "bounds)",
+                        which,
+                        static_cast<unsigned long long>(result.states), org,
+                        which),
         "verify-inconclusive");
   }
   return errors;
@@ -437,12 +445,12 @@ std::size_t report_findings(const VerifyResult& result, const hic::Sema& sema,
 
 std::string VerifyResult::text() const {
   std::string out;
-  out += support::format("verify: organization=%s states=%llu "
-                         "transitions=%llu%s\n",
-                         sim::to_string(organization),
-                         static_cast<unsigned long long>(states),
-                         static_cast<unsigned long long>(transitions),
-                         complete ? "" : " (budget exhausted)");
+  out += support::format(
+      "verify: organization=%s states=%llu transitions=%llu%s%s%s\n",
+      sim::to_string(organization), static_cast<unsigned long long>(states),
+      static_cast<unsigned long long>(transitions),
+      complete ? "" : " (", complete ? "" : budget.c_str(),
+      complete ? "" : " budget exhausted)");
   out += support::format("  deadlock-freedom:        %s\n",
                          verify::to_string(deadlock_free));
   out += support::format("  consume-before-produce:  %s\n",
@@ -491,6 +499,7 @@ std::string VerifyResult::json() const {
   w.key("states").value(states);
   w.key("transitions").value(transitions);
   w.key("complete").value(complete);
+  if (!complete) w.key("budget").value(budget);
   w.key("deadlock_free").value(verify::to_string(deadlock_free));
   w.key("blocking_bounded").value(verify::to_string(blocking_bounded));
   w.key("occupancy_ok").value(verify::to_string(occupancy_ok));

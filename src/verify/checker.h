@@ -34,6 +34,9 @@ struct VerifyOptions {
   /// State budget; exhausting it makes every unproved verdict
   /// Inconclusive instead of Proved.
   std::uint64_t max_states = 1000000;
+  /// BFS depth budget (scheduled steps from the initial state); 0 =
+  /// unlimited. Exhausting it is inconclusive like the state budget.
+  std::uint64_t max_depth = 0;
   bool por = true;
   /// Compute per-consumer blocking bounds (needs the transition graph;
   /// memory grows with the state count).
@@ -79,6 +82,9 @@ struct CexInfo {
 struct VerifyResult {
   sim::OrgKind organization = sim::OrgKind::Arbitrated;
   bool complete = true;
+  /// Which budget stopped the search ("states" or "depth"); empty when
+  /// complete.
+  std::string budget;
   std::uint64_t states = 0;
   std::uint64_t transitions = 0;
 

@@ -24,6 +24,15 @@ struct StateHash {
 
 }  // namespace
 
+const char* to_string(Budget b) {
+  switch (b) {
+    case Budget::None: return "none";
+    case Budget::States: return "states";
+    case Budget::Depth: return "depth";
+  }
+  return "?";
+}
+
 Explorer::Explorer(const ProgramModel& model, ExploreOptions options)
     : model_(model), options_(options) {
   countdown_base_ = model_.threads().size();
@@ -157,6 +166,7 @@ bool Explorer::run() {
     std::int32_t id = static_cast<std::int32_t>(states_.size());
     index.emplace(s, id);
     states_.push_back(s);
+    depth_.push_back(0);
     parent_.emplace_back(-1, Step{});
     if (options_.build_graph) graph_.emplace_back();
     note_state(s);
@@ -171,10 +181,20 @@ bool Explorer::run() {
   while (!frontier.empty()) {
     if (states_.size() >= options_.max_states && !frontier.empty()) {
       complete_ = false;
+      budget_ = Budget::States;
       break;
     }
     std::int32_t id = frontier.front();
     frontier.pop_front();
+    // Depth budget: BFS pops in nondecreasing depth, so the first state at
+    // the limit means every remaining frontier state is at it too — stop
+    // expanding (the already-recorded graph stays intact).
+    if (options_.max_depth > 0 &&
+        depth_[static_cast<std::size_t>(id)] >= options_.max_depth) {
+      complete_ = false;
+      budget_ = Budget::Depth;
+      continue;
+    }
     // states_ may reallocate while expanding; copy the state out.
     State s = states_[static_cast<std::size_t>(id)];
 
@@ -208,6 +228,8 @@ bool Explorer::run() {
         }
         if (is_new) {
           fresh = true;
+          depth_[static_cast<std::size_t>(nid)] =
+              depth_[static_cast<std::size_t>(id)] + 1;
           parent_[static_cast<std::size_t>(nid)] = {
               id, Step{t.thread, pc(s, t.thread), t.to}};
           frontier.push_back(nid);

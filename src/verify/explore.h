@@ -31,6 +31,10 @@ using State = std::vector<std::uint16_t>;
 struct ExploreOptions {
   /// Exploration stops (complete=false) once this many states exist.
   std::uint64_t max_states = 1000000;
+  /// Exploration stops expanding states at this BFS depth (scheduled
+  /// steps from the initial state); 0 = unlimited. Exhausting it makes
+  /// the run incomplete like the state budget does.
+  std::uint64_t max_depth = 0;
   bool por = true;
   /// Record the successor adjacency so blocking bounds can be computed
   /// (costs memory proportional to transitions).
@@ -61,6 +65,11 @@ struct Counterexample {
   int state_id = -1;
 };
 
+/// Which exploration budget cut the search short (None while complete).
+enum class Budget { None, States, Depth };
+
+[[nodiscard]] const char* to_string(Budget b);
+
 struct ControllerStats {
   int bram_id = -1;
   int cam_capacity = 0;
@@ -81,6 +90,8 @@ class Explorer {
   bool run();
 
   [[nodiscard]] bool complete() const { return complete_; }
+  /// The budget that stopped the search (None when complete()).
+  [[nodiscard]] Budget budget() const { return budget_; }
   [[nodiscard]] std::uint64_t num_states() const { return states_.size(); }
   [[nodiscard]] std::uint64_t num_transitions() const { return transitions_; }
 
@@ -126,10 +137,12 @@ class Explorer {
   std::size_t countdown_base_ = 0;  // offset of controller state in State
 
   std::vector<State> states_;
+  std::vector<std::uint32_t> depth_;  // BFS depth per state id
   std::vector<std::pair<std::int32_t, Step>> parent_;
   std::vector<std::vector<std::int32_t>> graph_;
   std::uint64_t transitions_ = 0;
   bool complete_ = true;
+  Budget budget_ = Budget::None;
   Counterexample deadlock_;
   std::vector<ControllerStats> controller_stats_;
 };

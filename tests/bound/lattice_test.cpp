@@ -1,0 +1,85 @@
+// The interval lattice underneath every hic-bound client: ordering, join,
+// widening, and the saturating arithmetic that keeps 1024-consumer
+// products sound instead of wrapped.
+#include <gtest/gtest.h>
+
+#include "bound/lattice.h"
+
+namespace hicsync::bound {
+namespace {
+
+TEST(LatticeTest, DefaultIsBottomAndJoinIsLub) {
+  Interval b;
+  EXPECT_TRUE(b.is_bottom());
+  EXPECT_FALSE(b.contains(0));
+
+  Interval x = Interval::exact(3);
+  EXPECT_TRUE(x.contains(3));
+  EXPECT_FALSE(x.contains(2));
+
+  // bottom ⊔ x = x, and joining reports whether anything changed.
+  EXPECT_TRUE(b.join_with(x));
+  EXPECT_EQ(b, x);
+  EXPECT_FALSE(b.join_with(x));
+
+  Interval y = Interval::range(1, 5);
+  EXPECT_TRUE(b.join_with(y));
+  EXPECT_EQ(b, Interval::range(1, 5));
+  EXPECT_TRUE(Interval::range(1, 5).contains(Interval::exact(3)));
+  EXPECT_FALSE(Interval::exact(3).contains(Interval::range(1, 5)));
+}
+
+TEST(LatticeTest, WideningJumpsToExtremes) {
+  // A growing upper bound widens to infinity; a shrinking lower bound
+  // widens to zero — the classic interval widening that forces loop
+  // fixpoints to converge.
+  Interval x = Interval::range(1, 2);
+  x.widen_with(Interval::range(1, 3));
+  EXPECT_EQ(x.lo, 1u);
+  EXPECT_EQ(x.hi, kInf);
+
+  Interval y = Interval::range(2, 4);
+  y.widen_with(Interval::range(1, 4));
+  EXPECT_EQ(y.lo, 0u);
+  EXPECT_EQ(y.hi, 4u);
+
+  // Stable bounds stay put.
+  Interval z = Interval::range(0, 7);
+  z.widen_with(Interval::range(0, 7));
+  EXPECT_EQ(z, Interval::range(0, 7));
+}
+
+TEST(LatticeTest, SaturatingArithmeticNeverWraps) {
+  EXPECT_EQ(sat_add(kInf, 1), kInf);
+  EXPECT_EQ(sat_add(kInf - 1, 1), kInf);
+  EXPECT_EQ(sat_add(2, 3), 5u);
+  EXPECT_EQ(sat_mul(kInf, 2), kInf);
+  EXPECT_EQ(sat_mul(1ull << 40, 1ull << 40), kInf);
+  EXPECT_EQ(sat_mul(6, 7), 42u);
+  EXPECT_EQ(sat_mul(kInf, 0), 0u);
+
+  Interval x = Interval::range(0, kInf);
+  Interval y = x.plus(1);
+  EXPECT_EQ(y.lo, 1u);
+  EXPECT_EQ(y.hi, kInf);
+}
+
+TEST(LatticeTest, AffineCounterCountdownRange) {
+  // countdown = N*rounds - drains clamped to [0, N]: a dependency whose
+  // produce can never run pins the countdown at 0, any live one spans the
+  // full [0, N].
+  AffineCounter dead;
+  dead.scale = 4;
+  dead.rounds = Interval::exact(0);
+  dead.drains = Interval::exact(0);
+  EXPECT_EQ(dead.countdown(), Interval::exact(0));
+
+  AffineCounter live;
+  live.scale = 4;
+  live.rounds = Interval::range(0, kInf);
+  live.drains = Interval::range(0, 4);
+  EXPECT_EQ(live.countdown(), Interval::range(0, 4));
+}
+
+}  // namespace
+}  // namespace hicsync::bound
