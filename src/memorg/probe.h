@@ -28,6 +28,10 @@ class ControllerProbe {
   void sample(const rtl::ModuleSim& sim, std::uint64_t cycle,
               trace::TraceBus& bus);
 
+  /// Forgets sampled history (the remembered slot), so a recycled
+  /// simulation re-reports the initial SlotAdvance (SystemSim::reset).
+  void reset() { last_slot_ = -1; }
+
  private:
   ProbeConfig config_;
   std::int64_t last_slot_ = -1;

@@ -21,7 +21,8 @@ Direction default_direction(const std::string& key) {
                                          "pass",       "util", "iterations",
                                          "handoff",    "in_paper_band",
                                          "monotonic",  "varies",
-                                         "decreasing", "faster"};
+                                         "decreasing", "faster",
+                                         "throughput", "scaling"};
   for (const char* marker : kHigherMarkers) {
     if (key.find(marker) != std::string::npos) {
       return Direction::HigherIsBetter;

@@ -1,0 +1,113 @@
+#include "rt/buffer.h"
+
+#include <algorithm>
+
+namespace hicsync::rt {
+
+struct BufferHandle::Block {
+  BufferPool* pool = nullptr;
+  std::vector<std::uint64_t> words;
+  std::atomic<int> refs{0};
+};
+
+BufferHandle::BufferHandle(const BufferHandle& other) : block_(other.block_) {
+  if (block_ != nullptr) {
+    block_->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+BufferHandle::BufferHandle(BufferHandle&& other) noexcept
+    : block_(other.block_) {
+  other.block_ = nullptr;
+}
+
+BufferHandle& BufferHandle::operator=(const BufferHandle& other) {
+  if (this == &other) return *this;
+  BufferHandle tmp(other);
+  std::swap(block_, tmp.block_);
+  return *this;
+}
+
+BufferHandle& BufferHandle::operator=(BufferHandle&& other) noexcept {
+  if (this == &other) return *this;
+  reset();
+  block_ = other.block_;
+  other.block_ = nullptr;
+  return *this;
+}
+
+BufferHandle::~BufferHandle() { reset(); }
+
+void BufferHandle::reset() {
+  if (block_ == nullptr) return;
+  Block* b = block_;
+  block_ = nullptr;
+  if (b->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    b->pool->release(b);
+  }
+}
+
+std::size_t BufferHandle::size() const {
+  return block_ == nullptr ? 0 : block_->words.size();
+}
+
+const std::uint64_t* BufferHandle::data() const {
+  return block_ == nullptr ? nullptr : block_->words.data();
+}
+
+std::uint64_t* BufferHandle::data() {
+  return block_ == nullptr ? nullptr : block_->words.data();
+}
+
+int BufferHandle::use_count() const {
+  return block_ == nullptr ? 0
+                           : block_->refs.load(std::memory_order_relaxed);
+}
+
+BufferPool::BufferPool() = default;
+BufferPool::~BufferPool() = default;
+
+BufferHandle BufferPool::allocate(std::size_t words) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BufferHandle::Block* block = nullptr;
+  // Recycle the first free block that fits; shrink-to-fit is deliberately
+  // avoided so capacity stays warm under steady traffic.
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i]->words.capacity() >= words) {
+      block = free_[i];
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++reused_;
+      break;
+    }
+  }
+  if (block == nullptr && !free_.empty()) {
+    block = free_.back();
+    free_.pop_back();
+    ++reused_;
+  }
+  if (block == nullptr) {
+    blocks_.push_back(std::make_unique<BufferHandle::Block>());
+    block = blocks_.back().get();
+    block->pool = this;
+    ++allocated_;
+  }
+  block->words.assign(words, 0);
+  block->refs.store(1, std::memory_order_relaxed);
+  return BufferHandle(block);
+}
+
+void BufferPool::release(BufferHandle::Block* block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(block);
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.allocated = allocated_;
+  s.reused = reused_;
+  s.live = blocks_.size() - free_.size();
+  return s;
+}
+
+}  // namespace hicsync::rt

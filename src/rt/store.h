@@ -1,0 +1,112 @@
+// Program loading for hic-rt.
+//
+// ProgramStore turns hicbin bytes (artifact.h) into live, simulatable
+// LoadedPrograms without re-running the compiler's decision-bearing
+// phases. Loading re-runs only the cheap front end (parse → optional
+// dependency inference → sema) on the embedded source — the hicbin analog
+// of reading an ELF symbol table — then cross-checks the rebuilt semantics
+// against the recorded digest and resolves the artifact's memory map and
+// port plans against the fresh Sema by name. Allocation, port planning,
+// scheduling and RTL generation are not repeated: the artifact's decisions
+// are authoritative (docs/RUNTIME.md).
+//
+// LoadedProgram is self-contained and immutable once built; the store
+// hands out shared_ptr<const LoadedProgram> so sessions, shards and stats
+// readers can hold a program across hot-swaps of the store.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hic/ast.h"
+#include "hic/sema.h"
+#include "memalloc/allocator.h"
+#include "memalloc/portplan.h"
+#include "rt/artifact.h"
+#include "sim/system.h"
+#include "support/diagnostics.h"
+
+namespace hicsync::rt {
+
+/// A rehydrated program: the artifact's metadata plus live front-end
+/// structures and the restored memory map / port plans, ready to build
+/// simulators from. Not movable — Sema and the map hold pointers into the
+/// Program — so it always lives on the heap behind a shared_ptr.
+class LoadedProgram {
+ public:
+  LoadedProgram(const LoadedProgram&) = delete;
+  LoadedProgram& operator=(const LoadedProgram&) = delete;
+
+  /// Key the program registers under: the artifact's source_name.
+  [[nodiscard]] const std::string& name() const {
+    return artifact_.source_name;
+  }
+  [[nodiscard]] const Artifact& artifact() const { return artifact_; }
+  [[nodiscard]] const hic::Program& program() const { return program_; }
+  [[nodiscard]] const hic::Sema& sema() const { return *sema_; }
+  [[nodiscard]] const memalloc::MemoryMap& memory_map() const { return map_; }
+  [[nodiscard]] const std::vector<memalloc::BramPortPlan>& port_plans()
+      const {
+    return plans_;
+  }
+  [[nodiscard]] sim::OrgKind organization() const { return organization_; }
+
+  /// A fresh cycle-accurate simulator over this program (the shard workers
+  /// call this once per shard, then reset()-recycle between runs). This
+  /// LoadedProgram must outlive the simulator.
+  [[nodiscard]] std::unique_ptr<sim::SystemSim> make_simulator(
+      sim::SystemOptions options) const;
+  [[nodiscard]] std::unique_ptr<sim::SystemSim> make_simulator() const;
+
+  /// Human-readable one-program summary (hic-rtd stats).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  friend class ProgramStore;
+  friend std::shared_ptr<const LoadedProgram> load_program(
+      const Artifact& artifact, ArtifactError* error);
+  LoadedProgram() = default;
+
+  Artifact artifact_;
+  support::DiagnosticEngine diags_;
+  hic::Program program_;
+  std::unique_ptr<hic::Sema> sema_;
+  memalloc::MemoryMap map_;
+  std::vector<memalloc::BramPortPlan> plans_;
+  sim::OrgKind organization_ = sim::OrgKind::Arbitrated;
+};
+
+/// Thread-safe registry of loaded programs, keyed by artifact source_name.
+/// Loading the same name again replaces the entry (existing holders keep
+/// their shared_ptr).
+class ProgramStore {
+ public:
+  /// Parses, validates and rehydrates hicbin bytes. On failure returns
+  /// nullptr with `error` carrying a stable rt-* code (see artifact.h).
+  std::shared_ptr<const LoadedProgram> load_bytes(std::string_view bytes,
+                                                  ArtifactError* error);
+  /// load_bytes over a file's contents (rt-io-error if unreadable).
+  std::shared_ptr<const LoadedProgram> load_file(const std::string& path,
+                                                 ArtifactError* error);
+
+  [[nodiscard]] std::shared_ptr<const LoadedProgram> get(
+      const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const LoadedProgram>> programs_;
+};
+
+/// The rehydration step on its own (no registry): front end + digest check
+/// + name resolution + map/plan restore. Exposed for tests and for
+/// in-process embedders that manage lifetime themselves.
+std::shared_ptr<const LoadedProgram> load_program(const Artifact& artifact,
+                                                  ArtifactError* error);
+
+}  // namespace hicsync::rt

@@ -228,6 +228,15 @@ void ModuleSim::reset() {
   settle();
 }
 
+void ModuleSim::clear_state() {
+  std::fill(values_.begin(), values_.end(), 0);
+  for (auto& [name, words] : memories_) {
+    std::fill(words.begin(), words.end(), 0);
+  }
+  cycles_ = 0;
+  settle();
+}
+
 std::uint64_t ModuleSim::read_mem(const std::string& mem,
                                   std::size_t addr) const {
   auto it = memories_.find(mem);

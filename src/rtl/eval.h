@@ -41,6 +41,14 @@ class ModuleSim {
   /// Applies reset for one cycle (rst=1, step, rst=0).
   void reset();
 
+  /// Returns the instance to its just-constructed state: every net and
+  /// memory word zeroed, cycle counter cleared, combinational logic
+  /// re-settled. Unlike reset(), which only exercises the module's own
+  /// reset logic, this also clears BRAM contents — it is what lets a
+  /// long-lived simulator (the hic-rt executor pool) recycle a module
+  /// between workloads with results identical to a fresh instance.
+  void clear_state();
+
   /// Direct memory access for tests (word address).
   [[nodiscard]] std::uint64_t read_mem(const std::string& mem,
                                        std::size_t addr) const;

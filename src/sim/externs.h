@@ -26,6 +26,11 @@ class ExternFuncs {
     return fns_.count(name) != 0;
   }
 
+  /// Drops every registered callable, restoring the deterministic fallback
+  /// for all names. The hic-rt executor pool clears and re-seeds between
+  /// workloads so one session's bindings never leak into the next.
+  void clear() { fns_.clear(); }
+
   /// Evaluates `name(args)`; unregistered names use a deterministic mix of
   /// the name hash and arguments.
   [[nodiscard]] std::uint64_t eval(const std::string& name,

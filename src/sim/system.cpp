@@ -273,6 +273,32 @@ SystemSim::SystemSim(const hic::Program& program, const hic::Sema& sema,
 
 SystemSim::~SystemSim() = default;
 
+void SystemSim::reset() {
+  cycle_ = 0;
+  rounds_.clear();
+  open_round_.clear();
+  for (auto& ctrl : controllers_) {
+    ctrl->sim->clear_state();
+    ctrl->sim->reset();
+    ctrl->a_waiters.clear();
+    ctrl->a_owner.clear();
+    ctrl->a_rotate = 0;
+    ctrl->probe->reset();
+  }
+  for (auto& tp : threads_) {
+    ThreadExec& t = *tp;
+    t.passes = 0;
+    t.mode = ThreadExec::Mode::Gated;
+    t.state = -1;
+    t.plan.clear();
+    t.plan_index = 0;
+    t.operand_index = 0;
+    t.branch_value = 0;
+    t.trace_blocked = false;
+    for (auto& [sym, value] : t.regs) value = 0;
+  }
+}
+
 SystemSim::ThreadExec* SystemSim::find_thread(const std::string& name) const {
   for (const auto& t : threads_) {
     if (t->name == name) return t.get();

@@ -94,6 +94,16 @@ class SystemSim {
   void set_gate(const std::string& thread,
                 std::function<bool(std::uint64_t cycle)> gate);
 
+  /// Returns the system to its just-constructed state so the instance can
+  /// run another workload: cycle counter, rounds, controller netlists
+  /// (registers *and* BRAM contents), port-A arbitration history and every
+  /// thread's FSM position, pass count and register file are cleared.
+  /// Gates, externs and the attached trace bus are left alone — they are
+  /// caller policy (the hic-rt pool clears/re-seeds externs per workload).
+  /// A reset instance produces results identical to a fresh one
+  /// (tests/sim/system_reset_test.cpp proves this differentially).
+  void reset();
+
   /// Advances one clock cycle.
   void step();
   /// Runs until every thread has completed at least `passes` passes or

@@ -1,0 +1,380 @@
+// hic-rtd — the hic-rt runtime daemon / driver.
+//
+//   hic-rtd serve  --artifact <prog.hicbin> --socket <path> [options]
+//   hic-rtd run    --artifact <prog.hicbin> [options]
+//   hic-rtd submit --socket <path> [client ops]
+//   hic-rtd stats  --socket <path>
+//
+// serve  loads an artifact (emitted by `hicc --emit-artifact`), starts the
+//        sharded service and listens on an AF_UNIX socket (JSON lines;
+//        src/rt/wire.h). Runs until stdin closes or a line of input
+//        arrives, then drains and shuts down cleanly.
+// run    in-process driver mode: loads the artifact, opens --sessions
+//        sessions across --shards shards, drives produce→run→consume per
+//        session, prints stats and aggregate throughput. This is the CI
+//        smoke mode — no socket involved.
+// submit client mode: --open, --produce w,w,..., --run N, --consume
+//        a,b,..., --close against a running serve instance.
+// stats  prints the server's describe text and stats JSON.
+//
+// Options:
+//   --artifact <file>     program artifact (serve/run)
+//   --socket <path>       AF_UNIX socket path (serve/submit/stats)
+//   --shards <n>          worker threads / simulator instances (default 1)
+//   --sessions <n>        sessions to drive in run mode (default 4)
+//   --passes <n>          pass target per run command (default 1)
+//   --produces <n>        produce commands per session in run mode (def. 1)
+//   --max-cycles <n>      per-run cycle budget (default 200000)
+//   --metrics             attach per-shard trace metrics (serve/run)
+//   --session <id>        session id for submit ops
+//
+// Exit status:
+//   0  success
+//   1  a command failed (rt-* error from the service)
+//   2  usage error
+//   3  artifact rejected (rt-bad-magic/rt-version-skew/rt-truncated/...)
+//   4  socket error (cannot bind/connect/speak the protocol)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "rt/service.h"
+#include "rt/store.h"
+#include "rt/wire.h"
+#include "support/strings.h"
+
+using namespace hicsync;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: hic-rtd <serve|run|submit|stats> [options]\n"
+    "  serve  --artifact <prog.hicbin> --socket <path> [--shards N]\n"
+    "  run    --artifact <prog.hicbin> [--sessions N] [--shards N]\n"
+    "         [--passes N] [--produces N] [--metrics]\n"
+    "  submit --socket <path> [--open] [--session ID] [--produce w,w,...]\n"
+    "         [--run N] [--consume a,b,...] [--close]\n"
+    "  stats  --socket <path>\n"
+    // Kept on one line so usage_docs_in_sync can grep it verbatim.
+    "exit codes: 0 ok, 1 command failed, 2 usage, 3 artifact rejected, 4 socket error\n";
+
+void usage() { std::fprintf(stderr, "%s", kUsage); }
+
+struct Args {
+  std::string mode;
+  std::string artifact;
+  std::string socket_path;
+  int shards = 1;
+  int sessions = 4;
+  int passes = 1;
+  int produces = 1;
+  std::uint64_t max_cycles = 200000;
+  bool metrics = false;
+  // submit ops, applied in this order:
+  bool do_open = false;
+  std::uint64_t session = 0;
+  bool have_session = false;
+  std::vector<std::uint64_t> produce_words;
+  bool do_produce = false;
+  int run_passes = 0;
+  bool do_run = false;
+  std::vector<std::string> consume_names;
+  bool do_consume = false;
+  bool do_close = false;
+};
+
+bool parse_words(const std::string& csv, std::vector<std::uint64_t>* out) {
+  for (const std::string& part : support::split(csv, ',')) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(part.c_str(), &end, 0);
+    if (end == nullptr || *end != '\0' || part.empty()) return false;
+    out->push_back(static_cast<std::uint64_t>(v));
+  }
+  return true;
+}
+
+std::shared_ptr<const rt::LoadedProgram> load_or_die(const Args& args,
+                                                     rt::ProgramStore& store) {
+  if (args.artifact.empty()) {
+    std::fprintf(stderr, "missing --artifact\n");
+    usage();
+    std::exit(2);
+  }
+  rt::ArtifactError error;
+  auto program = store.load_file(args.artifact, &error);
+  if (program == nullptr) {
+    std::fprintf(stderr, "cannot load %s: %s\n", args.artifact.c_str(),
+                 error.str().c_str());
+    std::exit(error.code == "rt-io-error" ? 2 : 3);
+  }
+  return program;
+}
+
+int cmd_serve(const Args& args) {
+  if (args.socket_path.empty()) {
+    std::fprintf(stderr, "serve needs --socket\n");
+    usage();
+    return 2;
+  }
+  rt::ProgramStore store;
+  auto program = load_or_die(args, store);
+
+  rt::ServiceOptions options;
+  options.shards = args.shards;
+  options.default_passes = args.passes;
+  options.max_cycles = args.max_cycles;
+  options.collect_sim_metrics = args.metrics;
+  rt::Service service(program, options);
+
+  rt::RemoteServer server(service, args.socket_path);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 4;
+  }
+  std::printf("hic-rtd: serving %s on %s (%d shard%s)\n",
+              program->name().c_str(), args.socket_path.c_str(), args.shards,
+              args.shards == 1 ? "" : "s");
+  std::fflush(stdout);
+
+  // Foreground daemon: run until stdin closes or a line arrives (gives CI
+  // and shells a deterministic, signal-free way to stop the server).
+  std::string line;
+  std::getline(std::cin, line);
+
+  server.stop();
+  service.shutdown();
+  std::printf("%s", service.stats_text().c_str());
+  std::printf("hic-rtd: clean shutdown\n");
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  rt::ProgramStore store;
+  auto program = load_or_die(args, store);
+
+  rt::ServiceOptions options;
+  options.shards = args.shards;
+  options.default_passes = args.passes;
+  options.max_cycles = args.max_cycles;
+  options.collect_sim_metrics = args.metrics;
+  rt::Service service(program, options);
+
+  // Drive the whole workload async, then drain once: sessions interleave
+  // across the shard pool exactly as remote clients would.
+  std::vector<std::future<rt::CommandResult>> runs;
+  std::vector<std::future<rt::CommandResult>> consumes;
+  auto wall_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < args.sessions; ++i) {
+    std::uint64_t session = service.open_session();
+    for (int p = 0; p < args.produces; ++p) {
+      rt::BufferHandle buf = service.buffers().allocate(4);
+      for (std::size_t w = 0; w < buf.size(); ++w) {
+        buf[w] = static_cast<std::uint64_t>(i * 131 + p * 17) + w;
+      }
+      service.produce(session, std::move(buf));
+    }
+    runs.push_back(service.run(session));
+    consumes.push_back(service.consume(session, {}));
+  }
+  service.drain();
+  auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - wall_start)
+                     .count();
+
+  int failures = 0;
+  for (auto& f : runs) {
+    rt::CommandResult r = f.get();
+    if (!r.ok) {
+      std::fprintf(stderr, "run failed on session %llu: %s\n",
+                   static_cast<unsigned long long>(r.session),
+                   r.error.c_str());
+      ++failures;
+    }
+  }
+  for (auto& f : consumes) {
+    rt::CommandResult r = f.get();
+    if (!r.ok) {
+      std::fprintf(stderr, "consume failed on session %llu: %s\n",
+                   static_cast<unsigned long long>(r.session),
+                   r.error.c_str());
+      ++failures;
+    }
+  }
+
+  std::printf("%s", service.stats_text().c_str());
+  rt::Service::Stats stats = service.stats();
+  double secs = static_cast<double>(wall_us) / 1e6;
+  if (secs > 0) {
+    std::printf("throughput: %.0f commands/s, %.0f runs/s over %.3fs\n",
+                static_cast<double>(stats.completed) / secs,
+                static_cast<double>(stats.runs) / secs, secs);
+  }
+  service.shutdown();
+  std::printf("hic-rtd: clean shutdown\n");
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_submit(const Args& args) {
+  if (args.socket_path.empty()) {
+    std::fprintf(stderr, "submit needs --socket\n");
+    usage();
+    return 2;
+  }
+  rt::RemoteClient client;
+  std::string error;
+  if (!client.connect(args.socket_path, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 4;
+  }
+
+  std::uint64_t session = args.session;
+  if (args.do_open) {
+    if (!client.open_session(&session, &error)) {
+      std::fprintf(stderr, "open failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("session %llu\n", static_cast<unsigned long long>(session));
+  } else if (!args.have_session &&
+             (args.do_produce || args.do_run || args.do_consume ||
+              args.do_close)) {
+    std::fprintf(stderr, "submit ops need --open or --session <id>\n");
+    return 2;
+  }
+  if (args.do_produce &&
+      !client.produce(session, args.produce_words, &error)) {
+    std::fprintf(stderr, "produce failed: %s\n", error.c_str());
+    return 1;
+  }
+  if (args.do_run) {
+    rt::RemoteClient::RunInfo info;
+    if (!client.run(session, args.run_passes, &info, &error)) {
+      std::fprintf(stderr, "run failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("run: converged=%s cycles=%llu rounds=%llu shard=%d\n",
+                info.converged ? "true" : "false",
+                static_cast<unsigned long long>(info.cycles),
+                static_cast<unsigned long long>(info.rounds), info.shard);
+  }
+  if (args.do_consume) {
+    std::vector<std::pair<std::string, std::uint64_t>> registers;
+    if (!client.consume(session, args.consume_names, &registers, &error)) {
+      std::fprintf(stderr, "consume failed: %s\n", error.c_str());
+      return 1;
+    }
+    for (const auto& [name, value] : registers) {
+      std::printf("%s = %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+  if (args.do_close && !client.close_session(session, &error)) {
+    std::fprintf(stderr, "close failed: %s\n", error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  if (args.socket_path.empty()) {
+    std::fprintf(stderr, "stats needs --socket\n");
+    usage();
+    return 2;
+  }
+  rt::RemoteClient client;
+  std::string error;
+  if (!client.connect(args.socket_path, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 4;
+  }
+  std::string describe;
+  std::string json;
+  if (!client.describe(&describe, &error) || !client.stats(&json, &error)) {
+    std::fprintf(stderr, "stats failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s%s\n", describe.c_str(), json.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  Args args;
+  args.mode = argv[1];
+  if (args.mode == "--help" || args.mode == "-h") {
+    usage();
+    return 0;
+  }
+
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--artifact") {
+      args.artifact = next();
+    } else if (arg == "--socket") {
+      args.socket_path = next();
+    } else if (arg == "--shards") {
+      args.shards = std::atoi(next());
+    } else if (arg == "--sessions") {
+      args.sessions = std::atoi(next());
+    } else if (arg == "--passes") {
+      args.passes = std::atoi(next());
+    } else if (arg == "--produces") {
+      args.produces = std::atoi(next());
+    } else if (arg == "--max-cycles") {
+      args.max_cycles = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--metrics") {
+      args.metrics = true;
+    } else if (arg == "--open") {
+      args.do_open = true;
+    } else if (arg == "--session") {
+      args.session = static_cast<std::uint64_t>(std::atoll(next()));
+      args.have_session = true;
+    } else if (arg == "--produce") {
+      args.do_produce = true;
+      if (!parse_words(next(), &args.produce_words)) {
+        std::fprintf(stderr, "bad --produce word list\n");
+        return 2;
+      }
+    } else if (arg == "--run") {
+      args.do_run = true;
+      args.run_passes = std::atoi(next());
+    } else if (arg == "--consume") {
+      args.do_consume = true;
+      std::string csv = next();
+      if (csv != "all") {
+        args.consume_names = support::split(csv, ',');
+      }
+    } else if (arg == "--close") {
+      args.do_close = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (args.mode == "serve") return cmd_serve(args);
+  if (args.mode == "run") return cmd_run(args);
+  if (args.mode == "submit") return cmd_submit(args);
+  if (args.mode == "stats") return cmd_stats(args);
+  std::fprintf(stderr, "unknown mode '%s'\n", args.mode.c_str());
+  usage();
+  return 2;
+}

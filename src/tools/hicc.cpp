@@ -4,6 +4,9 @@
 //
 //   --org arbitrated|event-driven   memory organization (default arbitrated)
 //   --emit-verilog <out.v>          write the generated controllers' RTL
+//   --emit-artifact <out.hicbin>    write a hic-rt program artifact (the
+//                                   loadable form hic-rtd serves; see
+//                                   docs/RUNTIME.md)
 //   --report                        print the compilation report (default)
 //   --no-report
 //   --simulate <passes>             run the program cycle-accurately
@@ -86,6 +89,7 @@
 #include "core/tbgen.h"
 #include "core/tracerun.h"
 #include "perf/profile.h"
+#include "rt/artifact.h"
 #include "trace/options.h"
 
 using namespace hicsync;
@@ -99,6 +103,7 @@ constexpr const char* kUsageBody =
     "  --org arbitrated|event-driven\n"
     "  --emit-verilog <out.v>\n"
     "  --emit-testbench <out_tb.v>\n"
+    "  --emit-artifact <out.hicbin>\n"
     "  --report | --no-report\n"
     "  --simulate <passes>\n"
     "  --trace=metrics|vcd|chrome[,out=PATH]   (repeatable)\n"
@@ -140,6 +145,7 @@ int main(int argc, char** argv) {
   std::string input;
   std::string verilog_out;
   std::string testbench_out;
+  std::string artifact_out;
   bool report = true;
   bool report_explicit = false;
   bool dump_fsm = false;
@@ -180,6 +186,8 @@ int main(int argc, char** argv) {
       verilog_out = next();
     } else if (arg == "--emit-testbench") {
       testbench_out = next();
+    } else if (arg == "--emit-artifact") {
+      artifact_out = next();
     } else if (arg == "--report") {
       report = true;
       report_explicit = true;
@@ -390,6 +398,16 @@ int main(int argc, char** argv) {
     }
     out << result->verilog();
     std::printf("wrote %s\n", verilog_out.c_str());
+  }
+
+  if (!artifact_out.empty()) {
+    std::ofstream out(artifact_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", artifact_out.c_str());
+      return 2;
+    }
+    out << rt::emit_artifact(*result, source);
+    std::printf("wrote %s\n", artifact_out.c_str());
   }
 
   if (!testbench_out.empty()) {

@@ -127,6 +127,11 @@ TEST(DefaultDirection, Heuristics) {
             Direction::HigherIsBetter);
   EXPECT_EQ(default_direction("shape_ok"), Direction::HigherIsBetter);
   EXPECT_EQ(default_direction("overhead_pct"), Direction::LowerIsBetter);
+  // hic-rt bench keys: more commands/s and better shard scaling are wins.
+  EXPECT_EQ(default_direction("rt.fig1.shard4.s64.throughput_cmds_per_s"),
+            Direction::HigherIsBetter);
+  EXPECT_EQ(default_direction("rt.scaling_shard8_vs_1"),
+            Direction::HigherIsBetter);
 }
 
 }  // namespace

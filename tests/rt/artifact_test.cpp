@@ -1,0 +1,256 @@
+// hicbin artifact round-trip suite: every shipped example, under both
+// memory organizations, must survive emit → load → run with results
+// bit-identical to running the direct compilation — and every way an
+// artifact can be damaged (bad magic, version skew, truncation, payload
+// corruption, stale source, digest mismatch, dangling names) must be
+// rejected with its stable rt-* code, never loaded.
+
+#include "rt/artifact.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/compiler.h"
+#include "rt/store.h"
+#include "rt/workload.h"
+
+#ifndef HICSYNC_EXAMPLES_DIR
+#error "HICSYNC_EXAMPLES_DIR must point at the examples/ directory"
+#endif
+
+namespace hicsync::rt {
+namespace {
+
+std::string read_example(const std::string& name) {
+  std::ifstream in(std::string(HICSYNC_EXAMPLES_DIR) + "/" + name);
+  EXPECT_TRUE(in.good()) << "cannot open example " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::unique_ptr<core::CompileResult> compile_example(
+    const std::string& source, sim::OrgKind kind, const std::string& name) {
+  core::CompileOptions options;
+  options.organization = kind;
+  options.source_name = name;
+  auto result = core::Compiler(options).compile(source);
+  EXPECT_TRUE(result->ok()) << result->diags().str();
+  return result;
+}
+
+struct Case {
+  const char* example;
+  int passes;
+};
+
+// Every shipped example; pass targets small enough to converge in the
+// default cycle budget under both organizations.
+const Case kCases[] = {
+    {"fig1.hic", 2},
+    {"pipeline.hic", 2},
+    {"stress8.hic", 1},
+    {"stress_shared.hic", 1},
+};
+
+class RoundTripBothOrgs
+    : public ::testing::TestWithParam<std::tuple<sim::OrgKind, int>> {};
+
+TEST_P(RoundTripBothOrgs, LoadedArtifactMatchesDirectCompile) {
+  const auto [kind, index] = GetParam();
+  const Case& c = kCases[index];
+  const std::string source = read_example(c.example);
+  auto compiled = compile_example(source, kind, c.example);
+
+  const std::string bytes = emit_artifact(*compiled, source);
+  ArtifactError error;
+  auto loaded = load_program([&] {
+    Artifact a;
+    EXPECT_TRUE(parse_artifact(bytes, &a, &error)) << error.str();
+    return a;
+  }(), &error);
+  ASSERT_NE(loaded, nullptr) << error.str();
+  EXPECT_EQ(loaded->name(), c.example);
+  EXPECT_EQ(loaded->organization(), kind);
+
+  // Differential: the same seeded workload on a direct-compile simulator
+  // and on an artifact-loaded simulator must agree on everything a client
+  // can observe.
+  for (std::uint64_t salt : {0ull, 7ull}) {
+    std::uint64_t words[] = {salt, salt * 3 + 1};
+    std::uint64_t seed = fold_seed(kWorkloadSeedInit, words, 2);
+
+    auto direct_sim = compiled->make_simulator();
+    WorkloadResult direct =
+        run_workload(*direct_sim, compiled->program(), compiled->sema(),
+                     c.passes, 200000, seed);
+    ASSERT_TRUE(direct.converged) << c.example;
+
+    auto loaded_sim = loaded->make_simulator();
+    WorkloadResult from_artifact =
+        run_workload(*loaded_sim, loaded->program(), loaded->sema(),
+                     c.passes, 200000, seed);
+    ASSERT_TRUE(from_artifact.converged) << c.example;
+
+    EXPECT_EQ(direct.registers, from_artifact.registers) << c.example;
+    EXPECT_EQ(direct.cycles, from_artifact.cycles) << c.example;
+    EXPECT_EQ(direct.rounds, from_artifact.rounds) << c.example;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Examples, RoundTripBothOrgs,
+    ::testing::Combine(::testing::Values(sim::OrgKind::Arbitrated,
+                                         sim::OrgKind::EventDriven),
+                       ::testing::Range(0, 4)),
+    [](const auto& info) {
+      std::string org = std::get<0>(info.param) == sim::OrgKind::Arbitrated
+                            ? "Arbitrated"
+                            : "EventDriven";
+      std::string name = kCases[std::get<1>(info.param)].example;
+      return org + "_" + name.substr(0, name.find('.'));
+    });
+
+TEST(ArtifactFormat, EmitIsDeterministicAndFramed) {
+  const std::string source = read_example("fig1.hic");
+  auto compiled =
+      compile_example(source, sim::OrgKind::Arbitrated, "fig1.hic");
+  const std::string a = emit_artifact(*compiled, source);
+  const std::string b = emit_artifact(*compiled, source);
+  EXPECT_EQ(a, b);  // byte-for-byte reproducible
+
+  // Header: "HICBIN <version> <payload-bytes> <digest>\n" and the declared
+  // length/digest actually match the payload.
+  ASSERT_EQ(a.rfind("HICBIN 1 ", 0), 0u);
+  std::size_t nl = a.find('\n');
+  ASSERT_NE(nl, std::string::npos);
+  Artifact art;
+  ArtifactError error;
+  ASSERT_TRUE(parse_artifact(a, &art, &error)) << error.str();
+  EXPECT_EQ(art.version, kArtifactVersion);
+  EXPECT_EQ(art.source_name, "fig1.hic");
+  EXPECT_EQ(art.source, source);
+  EXPECT_EQ(art.organization, "arbitrated");
+  EXPECT_FALSE(art.brams.empty());
+  EXPECT_FALSE(art.registers.empty());
+  EXPECT_FALSE(art.plans.empty());
+  EXPECT_FALSE(art.controllers.empty());
+  EXPECT_EQ(art.sema_digest, sema_digest(compiled->sema()));
+}
+
+TEST(ArtifactFormat, Fnv1a64KnownAnswers) {
+  // FNV-1a 64 reference vectors; the digest scheme must never drift.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+class ArtifactRejection : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    source_ = read_example("fig1.hic");
+    auto compiled =
+        compile_example(source_, sim::OrgKind::EventDriven, "fig1.hic");
+    bytes_ = emit_artifact(*compiled, source_);
+  }
+
+  std::string expect_rejected(const std::string& bytes) {
+    Artifact art;
+    ArtifactError error;
+    EXPECT_FALSE(parse_artifact(bytes, &art, &error));
+    EXPECT_FALSE(error.ok());
+    return error.code;
+  }
+
+  std::string source_;
+  std::string bytes_;
+};
+
+TEST_F(ArtifactRejection, NotAnArtifact) {
+  EXPECT_EQ(expect_rejected(""), "rt-bad-magic");
+  EXPECT_EQ(expect_rejected("ELF\x7f garbage"), "rt-bad-magic");
+  EXPECT_EQ(expect_rejected("HICBIN"), "rt-bad-magic");
+  EXPECT_EQ(expect_rejected("HICBIN 1 2\n{}"), "rt-bad-magic");  // 3 fields
+  EXPECT_EQ(expect_rejected("HICBIN x 2 0\n{}"), "rt-bad-magic");
+}
+
+TEST_F(ArtifactRejection, VersionSkew) {
+  std::string skewed = bytes_;
+  ASSERT_EQ(skewed.rfind("HICBIN 1 ", 0), 0u);
+  skewed[7] = '9';  // HICBIN 9 ...
+  EXPECT_EQ(expect_rejected(skewed), "rt-version-skew");
+  EXPECT_EQ(expect_rejected("HICBIN 0 0 cbf29ce484222325\n"),
+            "rt-version-skew");
+}
+
+TEST_F(ArtifactRejection, Truncated) {
+  // Any cut inside the payload leaves it shorter than the header declares.
+  EXPECT_EQ(expect_rejected(bytes_.substr(0, bytes_.size() - 1)),
+            "rt-truncated");
+  EXPECT_EQ(expect_rejected(bytes_.substr(0, bytes_.size() / 2)),
+            "rt-truncated");
+  std::size_t nl = bytes_.find('\n');
+  EXPECT_EQ(expect_rejected(bytes_.substr(0, nl + 1)), "rt-truncated");
+}
+
+TEST_F(ArtifactRejection, CorruptPayload) {
+  // Flip one payload byte: length still matches, digest does not.
+  std::string corrupt = bytes_;
+  corrupt[bytes_.find('\n') + 10] ^= 0x20;
+  EXPECT_EQ(expect_rejected(corrupt), "rt-corrupt");
+
+  // Trailing garbage after the declared payload.
+  EXPECT_EQ(expect_rejected(bytes_ + "extra"), "rt-corrupt");
+}
+
+TEST_F(ArtifactRejection, StaleSourceIsSourceError) {
+  Artifact art;
+  ArtifactError error;
+  ASSERT_TRUE(parse_artifact(bytes_, &art, &error));
+  art.source = "thread t () { int x; x = ; }";  // no longer parses
+  auto loaded = load_program(art, &error);
+  EXPECT_EQ(loaded, nullptr);
+  EXPECT_EQ(error.code, "rt-source-error");
+}
+
+TEST_F(ArtifactRejection, EditedSourceIsSemaMismatch) {
+  Artifact art;
+  ArtifactError error;
+  ASSERT_TRUE(parse_artifact(bytes_, &art, &error));
+  // Valid program, but not the one the placements were computed for.
+  art.source = "thread t () { int x; x = 1; }";
+  auto loaded = load_program(art, &error);
+  EXPECT_EQ(loaded, nullptr);
+  EXPECT_EQ(error.code, "rt-sema-mismatch");
+}
+
+TEST_F(ArtifactRejection, DanglingPlacementIsResolveError) {
+  Artifact art;
+  ArtifactError error;
+  ASSERT_TRUE(parse_artifact(bytes_, &art, &error));
+  ASSERT_FALSE(art.brams.empty());
+  ASSERT_FALSE(art.brams[0].placements.empty());
+  // Keep the digest honest (same source), but point a placement at a
+  // variable the Sema does not know.
+  art.brams[0].placements[0].var = "no_such_var";
+  auto loaded = load_program(art, &error);
+  EXPECT_EQ(loaded, nullptr);
+  EXPECT_EQ(error.code, "rt-resolve-error");
+}
+
+TEST_F(ArtifactRejection, ErrorStrCarriesCode) {
+  ArtifactError error;
+  Artifact art;
+  EXPECT_FALSE(parse_artifact("junk", &art, &error));
+  EXPECT_NE(error.str().find("rt-bad-magic"), std::string::npos);
+  EXPECT_TRUE(ArtifactError{}.ok());
+  EXPECT_EQ(ArtifactError{}.str(), "ok");
+}
+
+}  // namespace
+}  // namespace hicsync::rt

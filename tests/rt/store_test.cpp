@@ -1,0 +1,197 @@
+// ProgramStore registry semantics (load/replace/get across threads holding
+// shared_ptrs) and the refcounted BufferPool the service's command
+// payloads ride in.
+
+#include "rt/store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/compiler.h"
+#include "netapp/scenarios.h"
+#include "rt/buffer.h"
+
+namespace hicsync::rt {
+namespace {
+
+std::string make_artifact(const std::string& source, const std::string& name,
+                          sim::OrgKind kind = sim::OrgKind::Arbitrated) {
+  core::CompileOptions options;
+  options.organization = kind;
+  options.source_name = name;
+  auto result = core::Compiler(options).compile(source);
+  EXPECT_TRUE(result->ok()) << result->diags().str();
+  return emit_artifact(*result, source);
+}
+
+TEST(ProgramStore, LoadGetNamesAndReplace) {
+  ProgramStore store;
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.get("fig1.hic"), nullptr);
+
+  ArtifactError error;
+  auto fig1 = store.load_bytes(
+      make_artifact(netapp::figure1_source(), "fig1.hic"), &error);
+  ASSERT_NE(fig1, nullptr) << error.str();
+  auto fanout = store.load_bytes(
+      make_artifact(netapp::fanout_source(2), "fanout2.hic"), &error);
+  ASSERT_NE(fanout, nullptr) << error.str();
+
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.get("fig1.hic"), fig1);
+  EXPECT_EQ(store.names(), (std::vector<std::string>{
+                               "fanout2.hic", "fig1.hic"}));
+
+  // Reloading the same name replaces the entry; old holders keep theirs.
+  auto replacement = store.load_bytes(
+      make_artifact(netapp::figure1_source(), "fig1.hic",
+                    sim::OrgKind::EventDriven),
+      &error);
+  ASSERT_NE(replacement, nullptr) << error.str();
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_NE(store.get("fig1.hic"), fig1);
+  EXPECT_EQ(store.get("fig1.hic")->organization(),
+            sim::OrgKind::EventDriven);
+  EXPECT_EQ(fig1->organization(), sim::OrgKind::Arbitrated);  // still alive
+}
+
+TEST(ProgramStore, LoadBytesRejectionLeavesStoreEmpty) {
+  ProgramStore store;
+  ArtifactError error;
+  EXPECT_EQ(store.load_bytes("not a hicbin", &error), nullptr);
+  EXPECT_EQ(error.code, "rt-bad-magic");
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(ProgramStore, LoadFileRoundTripAndIoError) {
+  const std::string path =
+      ::testing::TempDir() + "store_test_fig1.hicbin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << make_artifact(netapp::figure1_source(), "fig1.hic");
+  }
+  ProgramStore store;
+  ArtifactError error;
+  auto program = store.load_file(path, &error);
+  ASSERT_NE(program, nullptr) << error.str();
+  EXPECT_EQ(program->name(), "fig1.hic");
+  std::remove(path.c_str());
+
+  EXPECT_EQ(store.load_file(path + ".missing", &error), nullptr);
+  EXPECT_EQ(error.code, "rt-io-error");
+}
+
+TEST(ProgramStore, DescribeSummarizesTheProgram) {
+  ProgramStore store;
+  ArtifactError error;
+  auto program = store.load_bytes(
+      make_artifact(netapp::figure1_source(), "fig1.hic"), &error);
+  ASSERT_NE(program, nullptr) << error.str();
+  std::string text = program->describe();
+  EXPECT_NE(text.find("fig1.hic"), std::string::npos);
+  EXPECT_NE(text.find("arbitrated"), std::string::npos);
+}
+
+TEST(ProgramStore, SimulatorsFromOneProgramAreIndependent) {
+  ProgramStore store;
+  ArtifactError error;
+  auto program = store.load_bytes(
+      make_artifact(netapp::figure1_source(), "fig1.hic"), &error);
+  ASSERT_NE(program, nullptr) << error.str();
+  auto a = program->make_simulator();
+  auto b = program->make_simulator();
+  // Stepping one must not advance the other.
+  a->externs().register_fn("f", [](const auto&) { return 1u; });
+  a->externs().register_fn("g", [](const auto& args) { return args.at(0); });
+  a->externs().register_fn("h", [](const auto& args) { return args.at(0); });
+  for (int i = 0; i < 10; ++i) a->step();
+  EXPECT_EQ(a->cycle(), 10u);
+  EXPECT_EQ(b->cycle(), 0u);
+}
+
+// ---- BufferPool / BufferHandle. ------------------------------------------
+
+TEST(BufferPool, HandleLifecycleAndRefcounts) {
+  BufferPool pool;
+  BufferHandle h = pool.allocate(4);
+  ASSERT_TRUE(h);
+  EXPECT_EQ(h.size(), 4u);
+  EXPECT_EQ(h.use_count(), 1);
+  for (std::size_t i = 0; i < h.size(); ++i) EXPECT_EQ(h[i], 0u);
+
+  h[0] = 42;
+  BufferHandle copy = h;
+  EXPECT_EQ(h.use_count(), 2);
+  EXPECT_EQ(copy[0], 42u);
+  EXPECT_EQ(copy.data(), h.data());  // same block, not a deep copy
+
+  BufferHandle moved = std::move(copy);
+  EXPECT_FALSE(copy);  // NOLINT(bugprone-use-after-move): asserting state
+  EXPECT_EQ(h.use_count(), 2);
+  moved.reset();
+  EXPECT_EQ(h.use_count(), 1);
+
+  BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.allocated, 1u);
+  EXPECT_EQ(stats.live, 1u);
+}
+
+TEST(BufferPool, BlocksRecycleByCapacity) {
+  BufferPool pool;
+  const std::uint64_t* first_block;
+  {
+    BufferHandle h = pool.allocate(8);
+    h[7] = 99;
+    first_block = h.data();
+  }  // last handle gone -> block back on the free list
+  EXPECT_EQ(pool.stats().live, 0u);
+
+  BufferHandle again = pool.allocate(8);
+  EXPECT_EQ(again.data(), first_block);  // recycled, not reallocated
+  EXPECT_EQ(again[7], 0u);               // and zeroed for the new user
+  EXPECT_EQ(pool.stats().allocated, 1u);
+  EXPECT_EQ(pool.stats().reused, 1u);
+
+  // A bigger request cannot reuse the 8-word block.
+  BufferHandle bigger = pool.allocate(16);
+  EXPECT_EQ(bigger.size(), 16u);
+  EXPECT_EQ(pool.stats().allocated, 2u);
+}
+
+TEST(BufferPool, EmptyHandleIsInert) {
+  BufferHandle empty;
+  EXPECT_FALSE(empty);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.use_count(), 0);
+  BufferHandle copy = empty;
+  EXPECT_FALSE(copy);
+  empty.reset();  // no-op, no crash
+}
+
+TEST(BufferPool, ConcurrentAllocateReleaseIsSafe) {
+  BufferPool pool;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&pool] {
+      for (int i = 0; i < 500; ++i) {
+        BufferHandle h = pool.allocate(1 + (i % 7));
+        h[0] = static_cast<std::uint64_t>(i);
+        BufferHandle copy = h;
+        EXPECT_EQ(copy[0], static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(pool.stats().live, 0u);
+  EXPECT_GT(pool.stats().reused, 0u);
+}
+
+}  // namespace
+}  // namespace hicsync::rt
