@@ -30,9 +30,18 @@ struct Service::Work {
   BufferHandle payload;              // Produce inputs
   std::vector<std::string> names;    // Consume register names
   int passes = 0;                    // Run
+  std::string tag;                   // client trace context
   std::promise<CommandResult> promise;
   Completion done;
   std::chrono::steady_clock::time_point enqueued;
+
+  // Telemetry span edges (rt/telemetry.h); taken only when enabled. The
+  // exec-end edge needs no timestamp of its own: complete() runs directly
+  // after execute() and its entry clock sample serves as both the latency
+  // endpoint and the span's exec_end.
+  TelemetryClock::time_point t_submit;
+  TelemetryClock::time_point t_dequeue;
+  std::uint64_t queue_depth = 0;  // shard queue depth at enqueue
 };
 
 struct Service::Session {
@@ -62,6 +71,11 @@ struct Service::Shard {
   std::uint64_t max_queue_depth = 0;
   std::uint64_t open_sessions = 0;
   trace::MetricsRegistry metrics;  // service-level series, guarded by mu
+  // Internally synchronized (its own mutex, uncontended on the worker):
+  // span capture never holds `mu`, so it cannot stretch a submitter's
+  // enqueue. The pointer is set at construction and never changes
+  // (null = disabled).
+  std::unique_ptr<ShardTelemetry> telemetry;
 
   // Worker-thread-only state.
   std::unique_ptr<sim::SystemSim> sim;
@@ -81,9 +95,18 @@ Service::Service(std::shared_ptr<const LoadedProgram> program,
                  ServiceOptions options)
     : program_(std::move(program)), options_(options) {
   if (options_.shards < 1) options_.shards = 1;
+  if (options_.telemetry.enabled) {
+    telemetry_epoch_ = TelemetryClock::now();
+    slow_log_ =
+        std::make_unique<SlowRequestLog>(options_.telemetry.slow_log_path);
+  }
   for (int i = 0; i < options_.shards; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->index = i;
+    if (options_.telemetry.enabled) {
+      shard->telemetry = std::make_unique<ShardTelemetry>(
+          i, options_.telemetry, telemetry_epoch_);
+    }
     shards_.push_back(std::move(shard));
   }
   for (auto& shard : shards_) {
@@ -107,43 +130,50 @@ std::uint64_t Service::open_session() {
 }
 
 std::future<CommandResult> Service::close_session(std::uint64_t session,
-                                                  Completion done) {
+                                                  Completion done,
+                                                  std::string tag) {
   auto work = std::make_unique<Work>();
   work->kind = CommandKind::Close;
   work->session = session;
   work->done = std::move(done);
+  work->tag = std::move(tag);
   return submit(std::move(work));
 }
 
 std::future<CommandResult> Service::produce(std::uint64_t session,
                                             BufferHandle inputs,
-                                            Completion done) {
+                                            Completion done,
+                                            std::string tag) {
   auto work = std::make_unique<Work>();
   work->kind = CommandKind::Produce;
   work->session = session;
   work->payload = std::move(inputs);
   work->done = std::move(done);
+  work->tag = std::move(tag);
   return submit(std::move(work));
 }
 
 std::future<CommandResult> Service::run(std::uint64_t session, int passes,
-                                        Completion done) {
+                                        Completion done, std::string tag) {
   auto work = std::make_unique<Work>();
   work->kind = CommandKind::Run;
   work->session = session;
   work->passes = passes;
   work->done = std::move(done);
+  work->tag = std::move(tag);
   return submit(std::move(work));
 }
 
 std::future<CommandResult> Service::consume(std::uint64_t session,
                                             std::vector<std::string> names,
-                                            Completion done) {
+                                            Completion done,
+                                            std::string tag) {
   auto work = std::make_unique<Work>();
   work->kind = CommandKind::Consume;
   work->session = session;
   work->names = std::move(names);
   work->done = std::move(done);
+  work->tag = std::move(tag);
   return submit(std::move(work));
 }
 
@@ -151,6 +181,7 @@ std::future<CommandResult> Service::submit(std::unique_ptr<Work> work) {
   Shard& shard =
       *shards_[work->session % static_cast<std::uint64_t>(shards_.size())];
   std::future<CommandResult> future = work->promise.get_future();
+  if (options_.telemetry.enabled) work->t_submit = TelemetryClock::now();
   work->enqueued = std::chrono::steady_clock::now();
 
   {
@@ -172,6 +203,7 @@ std::future<CommandResult> Service::submit(std::unique_ptr<Work> work) {
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     work->sequence = shard.next_sequence[work->session]++;
+    work->queue_depth = static_cast<std::uint64_t>(shard.queue.size());
     shard.queue.push_back(std::move(work));
     shard.max_queue_depth =
         std::max(shard.max_queue_depth,
@@ -193,6 +225,7 @@ void Service::worker(Shard& shard) {
       work = std::move(shard.queue.front());
       shard.queue.pop_front();
     }
+    if (shard.telemetry != nullptr) work->t_dequeue = TelemetryClock::now();
     CommandResult result;
     execute(shard, *work, &result);
     complete(shard, std::move(work), std::move(result));
@@ -205,6 +238,7 @@ void Service::execute(Shard& shard, Work& work, CommandResult* result) {
   result->sequence = work.sequence;
   result->kind = work.kind;
   result->shard = shard.index;
+  result->tag = work.tag;
 
   auto fail = [&](std::string message) {
     result->ok = false;
@@ -339,6 +373,44 @@ void Service::complete(Shard& shard, std::unique_ptr<Work> work,
   work->promise.set_value(result);
   if (work->done) work->done(result);
 
+  // Span capture happens after delivery — the complete edge covers
+  // promise + callback hand-off — and entirely off shard.mu: telemetry
+  // has its own (worker-uncontended) mutex, so recording a span can
+  // never stretch a submitter's enqueue. Only a slow span's queue
+  // snapshot touches shard.mu, and slow spans are the exception.
+  if (shard.telemetry != nullptr) {
+    Span span;
+    span.session = work->session;
+    span.sequence = work->sequence;
+    span.shard = shard.index;
+    span.kind = to_string(work->kind);
+    span.ok = result.ok;
+    if (!result.ok) span.error = result.error;
+    span.tag = std::move(work->tag);
+    span.queue_depth = work->queue_depth;
+    span.cycles = result.cycles;
+    span.submit = work->t_submit;
+    span.enqueue = work->enqueued;
+    span.dequeue = work->t_dequeue;
+    span.exec_end = now;  // complete()'s entry sample, right after execute()
+    span.complete = TelemetryClock::now();
+    std::vector<QueuedCommand> snapshot;
+    if (span.total_us() >= options_.telemetry.slow_threshold_us) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      snapshot.reserve(shard.queue.size());
+      for (const auto& pending : shard.queue) {
+        snapshot.push_back({pending->session, to_string(pending->kind)});
+      }
+    }
+    std::string slow_json;
+    shard.telemetry->record(std::move(span), snapshot, &slow_json);
+    if (result.kind == CommandKind::Close && result.ok) {
+      shard.telemetry->session_closed(result.session);
+    }
+    // SlowRequestLog has its own mutex shared by all shards.
+    if (!slow_json.empty()) slow_log_->append(slow_json);
+  }
+
   {
     std::lock_guard<std::mutex> lock(drain_mu_);
     --pending_;
@@ -387,6 +459,12 @@ Service::Stats Service::stats() const {
     ss.sim_cycles = shard->sim_cycles;
     ss.max_queue_depth = shard->max_queue_depth;
     ss.sessions = shard->open_sessions;
+    if (const trace::Histogram* h =
+            shard->metrics.find_histogram("rt.latency_us")) {
+      ss.latency_p50_us = h->percentile(50);
+      ss.latency_p95_us = h->percentile(95);
+      ss.latency_p99_us = h->percentile(99);
+    }
     s.runs += ss.runs;
     s.sim_cycles += ss.sim_cycles;
     s.shards.push_back(ss);
@@ -412,13 +490,17 @@ std::string Service::stats_text() const {
   for (const ShardStats& ss : s.shards) {
     out += support::format(
         "  shard %d: %llu commands (%llu runs, %llu failures), "
-        "%llu cycles, max queue %llu, %llu open sessions\n",
+        "%llu cycles, max queue %llu, %llu open sessions, "
+        "latency p50/p95/p99 %llu/%llu/%llu us\n",
         ss.shard, static_cast<unsigned long long>(ss.commands),
         static_cast<unsigned long long>(ss.runs),
         static_cast<unsigned long long>(ss.failures),
         static_cast<unsigned long long>(ss.sim_cycles),
         static_cast<unsigned long long>(ss.max_queue_depth),
-        static_cast<unsigned long long>(ss.sessions));
+        static_cast<unsigned long long>(ss.sessions),
+        static_cast<unsigned long long>(ss.latency_p50_us),
+        static_cast<unsigned long long>(ss.latency_p95_us),
+        static_cast<unsigned long long>(ss.latency_p99_us));
   }
   BufferPool::Stats bs = buffers_.stats();
   out += support::format(
@@ -452,6 +534,11 @@ std::string Service::stats_json() const {
     w.key("sim_cycles").value(ss.sim_cycles);
     w.key("max_queue_depth").value(ss.max_queue_depth);
     w.key("sessions").value(ss.sessions);
+    w.key("latency_us").begin_object();
+    w.key("p50").value(ss.latency_p50_us);
+    w.key("p95").value(ss.latency_p95_us);
+    w.key("p99").value(ss.latency_p99_us);
+    w.end_object();
     w.end_object();
   }
   w.end_array();
@@ -477,6 +564,68 @@ std::string Service::shard_trace_report(int shard) const {
     out += s.sink->report_text();
   }
   return out;
+}
+
+std::string Service::telemetry_json() const {
+  support::JsonWriter w(0);
+  w.begin_object();
+  w.key("enabled").value(options_.telemetry.enabled);
+  if (!options_.telemetry.enabled) {
+    w.end_object();
+    return w.str();
+  }
+  w.key("slow_threshold_us").value(options_.telemetry.slow_threshold_us);
+  w.key("slow_log_path").value(options_.telemetry.slow_log_path);
+  w.key("slow_log_entries").value(slow_log_->entries());
+  w.key("shards").begin_array();
+  for (const auto& shard : shards_) {
+    std::uint64_t queue_depth;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      queue_depth = static_cast<std::uint64_t>(shard->queue.size());
+    }
+    shard->telemetry->render_json(w, queue_depth);
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string Service::telemetry_text() const {
+  if (!options_.telemetry.enabled) {
+    return "rt-telemetry: disabled\n";
+  }
+  std::string out = support::format(
+      "rt-telemetry: %d shard%s, slow threshold %llu us, %llu slow "
+      "request%s%s%s\n",
+      shards(), shards() == 1 ? "" : "s",
+      static_cast<unsigned long long>(options_.telemetry.slow_threshold_us),
+      static_cast<unsigned long long>(slow_log_->entries()),
+      slow_log_->entries() == 1 ? "" : "s",
+      options_.telemetry.slow_log_path.empty() ? "" : ", log: ",
+      options_.telemetry.slow_log_path.c_str());
+  for (const auto& shard : shards_) {
+    std::uint64_t queue_depth;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      queue_depth = static_cast<std::uint64_t>(shard->queue.size());
+    }
+    shard->telemetry->render_text(&out, queue_depth);
+  }
+  return out;
+}
+
+std::string Service::telemetry_chrome_json() const {
+  if (!options_.telemetry.enabled) return "";
+  std::vector<std::string> events;
+  for (const auto& shard : shards_) {
+    shard->telemetry->append_chrome_events(&events);
+  }
+  return compose_chrome_trace(shards(), events);
+}
+
+std::uint64_t Service::slow_log_entries() const {
+  return slow_log_ == nullptr ? 0 : slow_log_->entries();
 }
 
 }  // namespace hicsync::rt

@@ -35,6 +35,7 @@
 
 #include "rt/buffer.h"
 #include "rt/store.h"
+#include "rt/telemetry.h"
 
 namespace hicsync::rt {
 
@@ -49,6 +50,10 @@ struct ServiceOptions {
   /// (port utilization, stall attribution; slower). Read the report with
   /// shard_trace_report() after drain().
   bool collect_sim_metrics = false;
+  /// Request telemetry (rt/telemetry.h): per-command spans, stage
+  /// histograms, slow-request forensics, Chrome-trace export. Disabled by
+  /// default; disabled telemetry costs one branch per command.
+  TelemetryOptions telemetry;
 };
 
 enum class CommandKind { Open, Close, Produce, Run, Consume };
@@ -65,6 +70,8 @@ struct CommandResult {
   std::uint64_t sequence = 0;
   CommandKind kind = CommandKind::Run;
   int shard = -1;
+  /// Client-assigned trace-context tag, echoed verbatim ("" = untagged).
+  std::string tag;
 
   // Run (also echoed by Consume from the session cache):
   bool converged = false;
@@ -96,19 +103,25 @@ class Service {
   /// guaranteed to execute before any command submitted for the id after
   /// this returns.
   std::uint64_t open_session();
+  /// `tag` on any submit is the client's trace context: carried on the
+  /// command's telemetry span, echoed in CommandResult::tag and on the
+  /// wire. Ignored (beyond the echo) when telemetry is disabled.
   std::future<CommandResult> close_session(std::uint64_t session,
-                                           Completion done = {});
+                                           Completion done = {},
+                                           std::string tag = {});
 
   std::future<CommandResult> produce(std::uint64_t session,
                                      BufferHandle inputs,
-                                     Completion done = {});
+                                     Completion done = {},
+                                     std::string tag = {});
   /// `passes <= 0` uses options.default_passes.
   std::future<CommandResult> run(std::uint64_t session, int passes = 0,
-                                 Completion done = {});
+                                 Completion done = {}, std::string tag = {});
   /// Empty `names` = all register variables.
   std::future<CommandResult> consume(std::uint64_t session,
                                      std::vector<std::string> names,
-                                     Completion done = {});
+                                     Completion done = {},
+                                     std::string tag = {});
 
   /// Blocks until every submitted command has completed.
   void drain();
@@ -127,6 +140,11 @@ class Service {
     std::uint64_t sim_cycles = 0;
     std::uint64_t max_queue_depth = 0;
     std::uint64_t sessions = 0;  // currently open on this shard
+    /// Completion-latency percentiles (µs) of the shard's rt.latency_us
+    /// histogram — zeros until the shard completes its first command.
+    std::uint64_t latency_p50_us = 0;
+    std::uint64_t latency_p95_us = 0;
+    std::uint64_t latency_p99_us = 0;
   };
   struct Stats {
     std::uint64_t submitted = 0;
@@ -147,6 +165,27 @@ class Service {
   /// idle — call after drain().
   [[nodiscard]] std::string shard_trace_report(int shard) const;
 
+  // --- Telemetry surface (rt/telemetry.h). All readers lock each shard
+  // briefly; safe to call concurrently with traffic (that is the point of
+  // `hic-rtd watch`). With telemetry disabled json/text report
+  // {"enabled":false} / a one-line notice and chrome export is empty.
+  [[nodiscard]] bool telemetry_enabled() const {
+    return options_.telemetry.enabled;
+  }
+  [[nodiscard]] const TelemetryOptions& telemetry_options() const {
+    return options_.telemetry;
+  }
+  /// {"enabled","slow_threshold_us","slow_log_path","slow_log_entries",
+  ///  "shards":[per-shard stage histograms w/ p50/p95/p99, slow_recent]}.
+  [[nodiscard]] std::string telemetry_json() const;
+  /// Human-readable rendering of the same (what `hic-rtd run` prints).
+  [[nodiscard]] std::string telemetry_text() const;
+  /// Chrome-trace document: one track per shard, one X event per retained
+  /// span. Empty string when telemetry is disabled.
+  [[nodiscard]] std::string telemetry_chrome_json() const;
+  /// Total spans promoted to the slow-request log (0 when disabled).
+  [[nodiscard]] std::uint64_t slow_log_entries() const;
+
  private:
   struct Work;
   struct Session;
@@ -162,6 +201,11 @@ class Service {
   ServiceOptions options_;
   BufferPool buffers_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Telemetry: epoch anchors span/trace timestamps; the slow log is shared
+  // by every shard (its own mutex). Both null/zero when disabled.
+  TelemetryClock::time_point telemetry_epoch_;
+  std::unique_ptr<SlowRequestLog> slow_log_;
 
   std::atomic<std::uint64_t> next_session_{0};
   std::atomic<std::uint64_t> submitted_{0};

@@ -56,6 +56,20 @@ bool get_session(const support::JsonValue& req, std::uint64_t* session,
   return true;
 }
 
+/// Optional trace-context tag from the request ("" when absent); false
+/// fills *resp with the error line.
+bool get_tag(const support::JsonValue& req, std::string* tag,
+             std::string* resp) {
+  const support::JsonValue* v = req.find("tag");
+  if (v == nullptr) return true;
+  if (!v->is_string()) {
+    *resp = error_line("rt-bad-request: 'tag' must be a string");
+    return false;
+  }
+  *tag = v->string_value;
+  return true;
+}
+
 std::string result_line(const CommandResult& r, bool with_registers) {
   support::JsonWriter w(0);
   w.begin_object();
@@ -64,6 +78,7 @@ std::string result_line(const CommandResult& r, bool with_registers) {
   w.key("session").value(r.session);
   w.key("sequence").value(r.sequence);
   w.key("shard").value(r.shard);
+  if (!r.tag.empty()) w.key("tag").value(r.tag);
   if (r.kind == CommandKind::Run) {
     w.key("converged").value(r.converged);
     w.key("cycles").value(r.cycles);
@@ -121,6 +136,14 @@ std::string handle_request_line(Service& service, std::string_view line) {
     w.end_object();
     return w.str();
   }
+  if (op->string_value == "telemetry") {
+    support::JsonWriter w(0);
+    w.begin_object();
+    w.key("ok").value(true);
+    w.key("telemetry").raw(service.telemetry_json());
+    w.end_object();
+    return w.str();
+  }
   if (op->string_value == "open") {
     std::uint64_t session = service.open_session();
     support::JsonWriter w(0);
@@ -134,9 +157,12 @@ std::string handle_request_line(Service& service, std::string_view line) {
   std::uint64_t session = 0;
   std::string resp;
   if (!get_session(req, &session, &resp)) return resp;
+  std::string tag;
+  if (!get_tag(req, &tag, &resp)) return resp;
 
   if (op->string_value == "close") {
-    return result_line(service.close_session(session).get(), false);
+    return result_line(
+        service.close_session(session, {}, std::move(tag)).get(), false);
   }
   if (op->string_value == "produce") {
     const support::JsonValue* words = req.find("words");
@@ -155,8 +181,9 @@ std::string handle_request_line(Service& service, std::string_view line) {
       }
       buf[i] = v;
     }
-    return result_line(service.produce(session, std::move(buf)).get(),
-                       false);
+    return result_line(
+        service.produce(session, std::move(buf), {}, std::move(tag)).get(),
+        false);
   }
   if (op->string_value == "run") {
     int passes = 0;
@@ -167,7 +194,8 @@ std::string handle_request_line(Service& service, std::string_view line) {
       }
       passes = static_cast<int>(p->number_value);
     }
-    return result_line(service.run(session, passes).get(), true);
+    return result_line(
+        service.run(session, passes, {}, std::move(tag)).get(), true);
   }
   if (op->string_value == "consume") {
     std::vector<std::string> names;
@@ -183,8 +211,9 @@ std::string handle_request_line(Service& service, std::string_view line) {
         names.push_back(e.string_value);
       }
     }
-    return result_line(service.consume(session, std::move(names)).get(),
-                       true);
+    return result_line(
+        service.consume(session, std::move(names), {}, std::move(tag)).get(),
+        true);
   }
   return error_line("rt-bad-request: unknown op '" + op->string_value + "'");
 }
@@ -480,11 +509,22 @@ bool RemoteClient::open_session(std::uint64_t* session, std::string* error) {
   return true;
 }
 
+namespace {
+
+/// `,"tag":"..."` fragment for string-built requests ("" when untagged).
+std::string tag_fragment(const std::string& tag) {
+  if (tag.empty()) return "";
+  return ",\"tag\":\"" + support::json_escape(tag) + "\"";
+}
+
+}  // namespace
+
 bool RemoteClient::close_session(std::uint64_t session, std::string* error) {
   std::string resp;
   support::JsonValue v;
-  return call(support::format("{\"op\":\"close\",\"session\":%llu}",
-                              static_cast<unsigned long long>(session)),
+  return call(support::format("{\"op\":\"close\",\"session\":%llu%s}",
+                              static_cast<unsigned long long>(session),
+                              tag_fragment(tag_).c_str()),
               &resp, error) &&
          parse_response(resp, &v, error);
 }
@@ -496,6 +536,7 @@ bool RemoteClient::produce(std::uint64_t session,
   w.begin_object();
   w.key("op").value("produce");
   w.key("session").value(session);
+  if (!tag_.empty()) w.key("tag").value(tag_);
   w.key("words").begin_array();
   for (std::uint64_t word : words) w.value(u64_str(word));
   w.end_array();
@@ -509,8 +550,10 @@ bool RemoteClient::run(std::uint64_t session, int passes, RunInfo* info,
                        std::string* error) {
   std::string resp;
   support::JsonValue v;
-  if (!call(support::format("{\"op\":\"run\",\"session\":%llu,\"passes\":%d}",
-                            static_cast<unsigned long long>(session), passes),
+  if (!call(support::format(
+                "{\"op\":\"run\",\"session\":%llu,\"passes\":%d%s}",
+                static_cast<unsigned long long>(session), passes,
+                tag_fragment(tag_).c_str()),
             &resp, error) ||
       !parse_response(resp, &v, error)) {
     return false;
@@ -542,6 +585,7 @@ bool RemoteClient::consume(
   w.begin_object();
   w.key("op").value("consume");
   w.key("session").value(session);
+  if (!tag_.empty()) w.key("tag").value(tag_);
   w.key("names").begin_array();
   for (const std::string& n : names) w.value(n);
   w.end_array();
@@ -575,49 +619,62 @@ bool RemoteClient::consume(
   return true;
 }
 
-bool RemoteClient::stats(std::string* json, std::string* error) {
+namespace {
+
+/// Re-renders a parsed subtree compactly (one line, no indent).
+void render_compact(const support::JsonValue& node, support::JsonWriter& w) {
+  switch (node.kind) {
+    case support::JsonValue::Kind::Null: w.value_null(); break;
+    case support::JsonValue::Kind::Bool: w.value(node.bool_value); break;
+    case support::JsonValue::Kind::Number: w.value(node.number_value); break;
+    case support::JsonValue::Kind::String: w.value(node.string_value); break;
+    case support::JsonValue::Kind::Array:
+      w.begin_array();
+      for (const auto& e : node.elements) render_compact(e, w);
+      w.end_array();
+      break;
+    case support::JsonValue::Kind::Object:
+      w.begin_object();
+      for (const auto& [k, val] : node.members) {
+        w.key(k);
+        render_compact(val, w);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+/// Shared body of stats()/telemetry(): call `op`, extract `field` and
+/// re-render it compactly into *json.
+bool fetch_subtree(RemoteClient& client, const char* op, const char* field,
+                   std::string* json, std::string* error) {
   std::string resp;
   support::JsonValue v;
-  if (!call("{\"op\":\"stats\"}", &resp, error) ||
+  if (!client.call(support::format("{\"op\":\"%s\"}", op), &resp, error) ||
       !parse_response(resp, &v, error)) {
     return false;
   }
-  const support::JsonValue* s = v.find("stats");
+  const support::JsonValue* s = v.find(field);
   if (s == nullptr) {
-    if (error != nullptr) *error = "rt-bad-response: missing 'stats'";
+    if (error != nullptr) {
+      *error = support::format("rt-bad-response: missing '%s'", field);
+    }
     return false;
   }
-  // Re-render the subtree compactly for the caller.
   support::JsonWriter w(0);
-  std::function<void(const support::JsonValue&)> render =
-      [&](const support::JsonValue& node) {
-        switch (node.kind) {
-          case support::JsonValue::Kind::Null: w.value_null(); break;
-          case support::JsonValue::Kind::Bool: w.value(node.bool_value); break;
-          case support::JsonValue::Kind::Number:
-            w.value(node.number_value);
-            break;
-          case support::JsonValue::Kind::String:
-            w.value(node.string_value);
-            break;
-          case support::JsonValue::Kind::Array:
-            w.begin_array();
-            for (const auto& e : node.elements) render(e);
-            w.end_array();
-            break;
-          case support::JsonValue::Kind::Object:
-            w.begin_object();
-            for (const auto& [k, val] : node.members) {
-              w.key(k);
-              render(val);
-            }
-            w.end_object();
-            break;
-        }
-      };
-  render(*s);
+  render_compact(*s, w);
   *json = w.str();
   return true;
+}
+
+}  // namespace
+
+bool RemoteClient::stats(std::string* json, std::string* error) {
+  return fetch_subtree(*this, "stats", "stats", json, error);
+}
+
+bool RemoteClient::telemetry(std::string* json, std::string* error) {
+  return fetch_subtree(*this, "telemetry", "telemetry", json, error);
 }
 
 bool RemoteClient::describe(std::string* text, std::string* error) {

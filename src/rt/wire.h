@@ -5,6 +5,7 @@
 //   {"op":"ping"}
 //   {"op":"describe"}
 //   {"op":"stats"}
+//   {"op":"telemetry"}                -> {"ok":true,"telemetry":{...}}
 //   {"op":"open"}                                  -> {"ok":true,"session":N}
 //   {"op":"produce","session":N,"words":["7",...]}
 //   {"op":"run","session":N,"passes":2}
@@ -15,6 +16,11 @@
 // {"ok":false,"error":"rt-*: detail"} with the service's stable error
 // codes. 64-bit values (produce words, register values) travel as decimal
 // strings — JSON numbers are doubles and would corrupt above 2^53.
+//
+// Any command op (produce/run/consume/close) may carry a "tag": a
+// client-assigned trace-context string, attached to the command's
+// telemetry span and echoed back in the response. `telemetry` returns
+// Service::telemetry_json() ({"enabled":false} when telemetry is off).
 //
 // handle_request_line() is the whole protocol engine and is transport-
 // independent: RemoteServer pumps socket lines through it, hic-rtd's
@@ -74,7 +80,8 @@ class RemoteServer {
 
   Service& service_;
   std::string path_;
-  int listen_fd_ = -1;
+  // Atomic: stop() clears it while accept_loop() is blocked in accept().
+  std::atomic<int> listen_fd_{-1};
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> connections_{0};
   std::thread accept_thread_;
@@ -96,6 +103,11 @@ class RemoteClient {
   bool connect(const std::string& socket_path, std::string* error);
   void close();
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Trace-context tag attached to every subsequent typed command request
+  /// ("" = stop tagging). The server echoes it and stamps it on spans.
+  void set_tag(std::string tag) { tag_ = std::move(tag); }
+  [[nodiscard]] const std::string& tag() const { return tag_; }
 
   /// Sends one raw request line and reads one response line.
   bool call(const std::string& request, std::string* response,
@@ -122,12 +134,16 @@ class RemoteClient {
                std::string* error);
   /// The service's stats_json() document.
   bool stats(std::string* json, std::string* error);
+  /// The service's telemetry_json() document ({"enabled":false} when the
+  /// server runs without telemetry).
+  bool telemetry(std::string* json, std::string* error);
   /// The loaded program's describe() text.
   bool describe(std::string* text, std::string* error);
 
  private:
   int fd_ = -1;
   std::string inbuf_;  // bytes read past the last response line
+  std::string tag_;    // trace context for typed command requests
 };
 
 }  // namespace hicsync::rt

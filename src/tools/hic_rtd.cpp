@@ -4,6 +4,7 @@
 //   hic-rtd run    --artifact <prog.hicbin> [options]
 //   hic-rtd submit --socket <path> [client ops]
 //   hic-rtd stats  --socket <path>
+//   hic-rtd watch  --socket <path> [--interval-ms N] [--count N] [--json]
 //
 // serve  loads an artifact (emitted by `hicc --emit-artifact`), starts the
 //        sharded service and listens on an AF_UNIX socket (JSON lines;
@@ -16,10 +17,14 @@
 // submit client mode: --open, --produce w,w,..., --run N, --consume
 //        a,b,..., --close against a running serve instance.
 // stats  prints the server's describe text and stats JSON.
+// watch  polls the server's `telemetry` op into a terminal live view:
+//        per-shard utilization, queue depth and p50/p95/p99 per stage.
+//        --count N stops after N polls (0 = until interrupted); --json
+//        prints the raw telemetry JSON document per poll instead.
 //
 // Options:
 //   --artifact <file>     program artifact (serve/run)
-//   --socket <path>       AF_UNIX socket path (serve/submit/stats)
+//   --socket <path>       AF_UNIX socket path (serve/submit/stats/watch)
 //   --shards <n>          worker threads / simulator instances (default 1)
 //   --sessions <n>        sessions to drive in run mode (default 4)
 //   --passes <n>          pass target per run command (default 1)
@@ -27,6 +32,15 @@
 //   --max-cycles <n>      per-run cycle budget (default 200000)
 //   --metrics             attach per-shard trace metrics (serve/run)
 //   --session <id>        session id for submit ops
+//   --tag <s>             trace-context tag on submit ops (echoed + spans)
+//   --telemetry           enable request telemetry (serve/run)
+//   --slow-us <n>         slow-request threshold, µs (default 100000)
+//   --slow-log <file>     JSONL forensics file for slow requests
+//   --telemetry-ring <n>  spans retained per shard (default 256)
+//   --trace-out <file>    write Chrome-trace of retained spans on exit
+//   --interval-ms <n>     watch poll interval (default 1000)
+//   --count <n>           watch polls before exiting (default 0 = forever)
+//   --json                watch prints raw telemetry JSON per poll
 //
 // Exit status:
 //   0  success
@@ -35,17 +49,20 @@
 //   3  artifact rejected (rt-bad-magic/rt-version-skew/rt-truncated/...)
 //   4  socket error (cannot bind/connect/speak the protocol)
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "rt/service.h"
 #include "rt/store.h"
 #include "rt/wire.h"
+#include "support/json.h"
 #include "support/strings.h"
 
 using namespace hicsync;
@@ -53,13 +70,16 @@ using namespace hicsync;
 namespace {
 
 constexpr const char* kUsage =
-    "usage: hic-rtd <serve|run|submit|stats> [options]\n"
+    "usage: hic-rtd <serve|run|submit|stats|watch> [options]\n"
     "  serve  --artifact <prog.hicbin> --socket <path> [--shards N]\n"
+    "         [--telemetry] [--slow-us N] [--slow-log F] [--trace-out F]\n"
     "  run    --artifact <prog.hicbin> [--sessions N] [--shards N]\n"
     "         [--passes N] [--produces N] [--metrics]\n"
+    "         [--telemetry] [--slow-us N] [--slow-log F] [--trace-out F]\n"
     "  submit --socket <path> [--open] [--session ID] [--produce w,w,...]\n"
-    "         [--run N] [--consume a,b,...] [--close]\n"
+    "         [--run N] [--consume a,b,...] [--close] [--tag S]\n"
     "  stats  --socket <path>\n"
+    "  watch  --socket <path> [--interval-ms N] [--count N] [--json]\n"
     // Kept on one line so usage_docs_in_sync can grep it verbatim.
     "exit codes: 0 ok, 1 command failed, 2 usage, 3 artifact rejected, 4 socket error\n";
 
@@ -75,7 +95,18 @@ struct Args {
   int produces = 1;
   std::uint64_t max_cycles = 200000;
   bool metrics = false;
+  // telemetry (serve/run):
+  bool telemetry = false;
+  std::uint64_t slow_us = 100000;
+  std::string slow_log;
+  std::size_t telemetry_ring = 256;
+  std::string trace_out;
+  // watch:
+  int interval_ms = 1000;
+  int count = 0;  // 0 = poll forever
+  bool json = false;
   // submit ops, applied in this order:
+  std::string tag;
   bool do_open = false;
   std::uint64_t session = 0;
   bool have_session = false;
@@ -96,6 +127,50 @@ bool parse_words(const std::string& csv, std::vector<std::uint64_t>* out) {
     out->push_back(static_cast<std::uint64_t>(v));
   }
   return true;
+}
+
+rt::ServiceOptions service_options(const Args& args) {
+  rt::ServiceOptions options;
+  options.shards = args.shards;
+  options.default_passes = args.passes;
+  options.max_cycles = args.max_cycles;
+  options.collect_sim_metrics = args.metrics;
+  options.telemetry.enabled = args.telemetry;
+  options.telemetry.slow_threshold_us = args.slow_us;
+  options.telemetry.slow_log_path = args.slow_log;
+  options.telemetry.ring_capacity = args.telemetry_ring;
+  return options;
+}
+
+/// Telemetry epilogue shared by serve/run: text report + Chrome trace.
+int dump_telemetry(const Args& args, rt::Service& service) {
+  if (!service.telemetry_enabled()) return 0;
+  std::printf("%s", service.telemetry_text().c_str());
+  if (args.trace_out.empty()) return 0;
+  std::FILE* f = std::fopen(args.trace_out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s: %s\n", args.trace_out.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+  std::string doc = service.telemetry_chrome_json();
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  std::printf("telemetry: chrome trace written to %s\n",
+              args.trace_out.c_str());
+  return 0;
+}
+
+/// Exit code for a failed client exchange: transport and protocol
+/// breakage is 4 (socket error), a clean rt-* refusal from the service
+/// is 1 (command failed). The error text is printed verbatim either way
+/// so the rt-* code is visible to scripts.
+int client_exit_code(const std::string& error) {
+  if (error.rfind("rt-socket", 0) == 0 ||
+      error.rfind("rt-bad-response", 0) == 0) {
+    return 4;
+  }
+  return 1;
 }
 
 std::shared_ptr<const rt::LoadedProgram> load_or_die(const Args& args,
@@ -123,13 +198,7 @@ int cmd_serve(const Args& args) {
   }
   rt::ProgramStore store;
   auto program = load_or_die(args, store);
-
-  rt::ServiceOptions options;
-  options.shards = args.shards;
-  options.default_passes = args.passes;
-  options.max_cycles = args.max_cycles;
-  options.collect_sim_metrics = args.metrics;
-  rt::Service service(program, options);
+  rt::Service service(program, service_options(args));
 
   rt::RemoteServer server(service, args.socket_path);
   std::string error;
@@ -150,20 +219,15 @@ int cmd_serve(const Args& args) {
   server.stop();
   service.shutdown();
   std::printf("%s", service.stats_text().c_str());
+  int rc = dump_telemetry(args, service);
   std::printf("hic-rtd: clean shutdown\n");
-  return 0;
+  return rc;
 }
 
 int cmd_run(const Args& args) {
   rt::ProgramStore store;
   auto program = load_or_die(args, store);
-
-  rt::ServiceOptions options;
-  options.shards = args.shards;
-  options.default_passes = args.passes;
-  options.max_cycles = args.max_cycles;
-  options.collect_sim_metrics = args.metrics;
-  rt::Service service(program, options);
+  rt::Service service(program, service_options(args));
 
   // Drive the whole workload async, then drain once: sessions interleave
   // across the shard pool exactly as remote clients would.
@@ -215,9 +279,11 @@ int cmd_run(const Args& args) {
                 static_cast<double>(stats.completed) / secs,
                 static_cast<double>(stats.runs) / secs, secs);
   }
+  int telemetry_rc = dump_telemetry(args, service);
   service.shutdown();
   std::printf("hic-rtd: clean shutdown\n");
-  return failures == 0 ? 0 : 1;
+  if (failures != 0) return 1;
+  return telemetry_rc;
 }
 
 int cmd_submit(const Args& args) {
@@ -232,6 +298,7 @@ int cmd_submit(const Args& args) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 4;
   }
+  if (!args.tag.empty()) client.set_tag(args.tag);
 
   std::uint64_t session = args.session;
   if (args.do_open) {
@@ -296,9 +363,95 @@ int cmd_stats(const Args& args) {
   std::string json;
   if (!client.describe(&describe, &error) || !client.stats(&json, &error)) {
     std::fprintf(stderr, "stats failed: %s\n", error.c_str());
-    return 1;
+    return client_exit_code(error);
   }
   std::printf("%s%s\n", describe.c_str(), json.c_str());
+  return 0;
+}
+
+/// One rendered frame of the live view. Returns false on a document the
+/// renderer does not understand (caller treats as rt-bad-response).
+bool render_watch_frame(const std::string& telemetry_json, int poll) {
+  support::JsonValue doc;
+  std::string json_error;
+  if (!support::parse_json(telemetry_json, &doc, &json_error)) return false;
+  const support::JsonValue* enabled = doc.find("enabled");
+  if (enabled == nullptr || !enabled->is_bool()) return false;
+  if (!enabled->bool_value) {
+    std::printf("[%d] telemetry disabled on server\n", poll);
+    return true;
+  }
+  const support::JsonValue* shards = doc.find("shards");
+  const support::JsonValue* slow = doc.find("slow_log_entries");
+  if (shards == nullptr || !shards->is_array()) return false;
+  std::printf("[%d] %zu shard%s, %llu slow request%s\n", poll,
+              shards->elements.size(),
+              shards->elements.size() == 1 ? "" : "s",
+              slow != nullptr && slow->is_number()
+                  ? static_cast<unsigned long long>(slow->number_value)
+                  : 0ULL,
+              slow != nullptr && slow->number_value == 1 ? "" : "s");
+  for (const support::JsonValue& shard : shards->elements) {
+    auto num = [&shard](const char* key) -> unsigned long long {
+      const support::JsonValue* v = shard.find(key);
+      return v != nullptr && v->is_number()
+                 ? static_cast<unsigned long long>(v->number_value)
+                 : 0ULL;
+    };
+    std::printf("  shard %llu: queue %llu, %llu spans, busy %llu us",
+                num("shard"), num("queue_depth"), num("spans_recorded"),
+                num("busy_us"));
+    const support::JsonValue* stages = shard.find("stages");
+    const support::JsonValue* total =
+        stages != nullptr ? stages->find("total_us") : nullptr;
+    if (total != nullptr) {
+      auto pct = [&total](const char* key) -> unsigned long long {
+        const support::JsonValue* v = total->find(key);
+        return v != nullptr && v->is_number()
+                   ? static_cast<unsigned long long>(v->number_value)
+                   : 0ULL;
+      };
+      std::printf(", total p50/p95/p99 %llu/%llu/%llu us", pct("p50"),
+                  pct("p95"), pct("p99"));
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+  return true;
+}
+
+int cmd_watch(const Args& args) {
+  if (args.socket_path.empty()) {
+    std::fprintf(stderr, "watch needs --socket\n");
+    usage();
+    return 2;
+  }
+  rt::RemoteClient client;
+  std::string error;
+  if (!client.connect(args.socket_path, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 4;
+  }
+  for (int poll = 0; args.count <= 0 || poll < args.count; ++poll) {
+    if (poll > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(args.interval_ms));
+    }
+    std::string json;
+    if (!client.telemetry(&json, &error)) {
+      std::fprintf(stderr, "watch failed: %s\n", error.c_str());
+      return client_exit_code(error);
+    }
+    if (args.json) {
+      std::printf("%s\n", json.c_str());
+      std::fflush(stdout);
+    } else if (!render_watch_frame(json, poll)) {
+      std::fprintf(stderr,
+                   "watch failed: rt-bad-response: unexpected telemetry "
+                   "document\n");
+      return 4;
+    }
+  }
   return 0;
 }
 
@@ -341,6 +494,24 @@ int main(int argc, char** argv) {
       args.max_cycles = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--metrics") {
       args.metrics = true;
+    } else if (arg == "--telemetry") {
+      args.telemetry = true;
+    } else if (arg == "--slow-us") {
+      args.slow_us = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--slow-log") {
+      args.slow_log = next();
+    } else if (arg == "--telemetry-ring") {
+      args.telemetry_ring = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--trace-out") {
+      args.trace_out = next();
+    } else if (arg == "--interval-ms") {
+      args.interval_ms = std::atoi(next());
+    } else if (arg == "--count") {
+      args.count = std::atoi(next());
+    } else if (arg == "--json") {
+      args.json = true;
+    } else if (arg == "--tag") {
+      args.tag = next();
     } else if (arg == "--open") {
       args.do_open = true;
     } else if (arg == "--session") {
@@ -374,6 +545,7 @@ int main(int argc, char** argv) {
   if (args.mode == "run") return cmd_run(args);
   if (args.mode == "submit") return cmd_submit(args);
   if (args.mode == "stats") return cmd_stats(args);
+  if (args.mode == "watch") return cmd_watch(args);
   std::fprintf(stderr, "unknown mode '%s'\n", args.mode.c_str());
   usage();
   return 2;

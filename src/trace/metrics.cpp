@@ -1,6 +1,7 @@
 #include "trace/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/strings.h"
 
@@ -18,8 +19,11 @@ Histogram::Histogram(std::vector<std::uint64_t> upper_bounds)
 }
 
 void Histogram::record(std::uint64_t sample) {
-  std::size_t i = 0;
-  while (i < bounds_.size() && sample >= bounds_[i]) ++i;
+  // Binary search, not a scan: large samples (deep-queue latencies) would
+  // otherwise walk every bound, and record() sits on hot paths.
+  std::size_t i = static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), sample) -
+      bounds_.begin());
   ++counts_[i];
   if (count_ == 0 || sample < min_) min_ = sample;
   if (sample > max_) max_ = sample;
@@ -30,6 +34,25 @@ void Histogram::record(std::uint64_t sample) {
 double Histogram::mean() const {
   return count_ == 0 ? 0.0
                      : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return min();
+  if (p > 100.0) p = 100.0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) {
+      // Bucket i covers [bounds[i-1], bounds[i]); report its upper bound,
+      // clamped to the values actually observed.
+      std::uint64_t v = i < bounds_.size() ? bounds_[i] : max_;
+      return std::max(min(), std::min(v, max_));
+    }
+  }
+  return max_;
 }
 
 std::string Histogram::str() const {

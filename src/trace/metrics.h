@@ -39,6 +39,12 @@ class Histogram {
   [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
   [[nodiscard]] std::uint64_t max() const { return max_; }
   [[nodiscard]] double mean() const;
+  /// Approximate p-th percentile (0 < p <= 100) by cumulative bucket walk:
+  /// the upper bound of the first bucket whose cumulative count reaches
+  /// ceil(p/100 * count), clamped to the observed [min, max] (so exact
+  /// extremes come back exact and the overflow bucket reports max). 0 when
+  /// the histogram is empty.
+  [[nodiscard]] std::uint64_t percentile(double p) const;
   [[nodiscard]] const std::vector<std::uint64_t>& bounds() const {
     return bounds_;
   }

@@ -16,6 +16,7 @@
 #include "core/compiler.h"
 #include "netapp/scenarios.h"
 #include "rt/workload.h"
+#include "support/json.h"
 
 namespace hicsync::rt {
 namespace {
@@ -271,6 +272,67 @@ TEST(Service, StatsCountCommandsAndSessions) {
 
   EXPECT_NE(service.stats_text().find("sessions"), std::string::npos);
   EXPECT_NE(service.stats_json().find("\"submitted\""), std::string::npos);
+}
+
+TEST(Service, StatsJsonMatchesTheDocumentedSchema) {
+  ServiceOptions options;
+  options.shards = 2;
+  Service service(load_fig1(), options);
+  std::uint64_t session = service.open_session();
+  service.produce(session, words(service, {3}));
+  service.run(session);
+  service.consume(session, {});
+  service.drain();
+
+  support::JsonValue stats;
+  std::string parse_error;
+  ASSERT_TRUE(support::parse_json(service.stats_json(), &stats, &parse_error))
+      << parse_error;
+  ASSERT_TRUE(stats.is_object());
+  EXPECT_EQ(stats.find("program")->string_value, "fig1.hic");
+  EXPECT_EQ(stats.find("shards")->number_value, 2);
+  for (const char* key : {"submitted", "completed", "failed",
+                          "sessions_opened", "sessions_closed", "runs",
+                          "sim_cycles"}) {
+    const support::JsonValue* v = stats.find(key);
+    ASSERT_NE(v, nullptr) << key;
+    EXPECT_TRUE(v->is_number()) << key;
+  }
+  EXPECT_EQ(stats.find("completed")->number_value, 4);
+
+  const support::JsonValue* shard_stats = stats.find("shard_stats");
+  ASSERT_NE(shard_stats, nullptr);
+  ASSERT_EQ(shard_stats->elements.size(), 2u);
+  double shard_commands = 0;
+  for (const support::JsonValue& shard : shard_stats->elements) {
+    for (const char* key : {"shard", "commands", "runs", "failures",
+                            "sim_cycles", "max_queue_depth", "sessions"}) {
+      ASSERT_NE(shard.find(key), nullptr) << key;
+    }
+    shard_commands += shard.find("commands")->number_value;
+    // Completion-latency percentiles ride every shard entry, ordered.
+    const support::JsonValue* latency = shard.find("latency_us");
+    ASSERT_NE(latency, nullptr);
+    const support::JsonValue* p50 = latency->find("p50");
+    const support::JsonValue* p95 = latency->find("p95");
+    const support::JsonValue* p99 = latency->find("p99");
+    ASSERT_NE(p50, nullptr);
+    ASSERT_NE(p95, nullptr);
+    ASSERT_NE(p99, nullptr);
+    EXPECT_LE(p50->number_value, p95->number_value);
+    EXPECT_LE(p95->number_value, p99->number_value);
+  }
+  EXPECT_EQ(shard_commands, stats.find("completed")->number_value);
+
+  const support::JsonValue* buffers = stats.find("buffers");
+  ASSERT_NE(buffers, nullptr);
+  for (const char* key : {"allocated", "reused", "live"}) {
+    EXPECT_NE(buffers->find(key), nullptr) << key;
+  }
+
+  // The text rendering reports the same latency ladder per shard.
+  const std::string text = service.stats_text();
+  EXPECT_NE(text.find("latency p50/p95/p99"), std::string::npos);
 }
 
 TEST(Service, ShutdownIsIdempotentAndRejectsLateCommands) {

@@ -119,6 +119,60 @@ TEST_F(WireProtocol, FullSessionConversation) {
   EXPECT_TRUE(ok_of(close)) << error_of(close);
 }
 
+TEST_F(WireProtocol, TelemetryOpReportsDisabledWithoutTelemetry) {
+  support::JsonValue v = parse(request(R"({"op":"telemetry"})"));
+  EXPECT_TRUE(ok_of(v));
+  const support::JsonValue* telemetry = v.find("telemetry");
+  ASSERT_NE(telemetry, nullptr);
+  EXPECT_FALSE(telemetry->find("enabled")->bool_value);
+}
+
+TEST(WireTelemetry, TelemetryOpAndTagTravelTheProtocol) {
+  ServiceOptions options;
+  options.shards = 2;
+  options.telemetry.enabled = true;
+  options.telemetry.slow_threshold_us = 600ULL * 1000 * 1000;
+  Service service(load_fig1(), options);
+  auto request = [&](const std::string& line) {
+    return handle_request_line(service, line);
+  };
+
+  support::JsonValue open = parse(request(R"({"op":"open"})"));
+  ASSERT_TRUE(ok_of(open));
+  std::string session =
+      support::format("%.0f", open.find("session")->number_value);
+
+  // The trace-context tag rides the request and is echoed on the result.
+  support::JsonValue run = parse(request(
+      R"({"op":"run","session":)" + session + R"(,"tag":"wire-req-1"})"));
+  ASSERT_TRUE(ok_of(run)) << error_of(run);
+  ASSERT_NE(run.find("tag"), nullptr);
+  EXPECT_EQ(run.find("tag")->string_value, "wire-req-1");
+
+  // A non-string tag is a malformed request, not a silent drop.
+  support::JsonValue bad = parse(request(
+      R"({"op":"run","session":)" + session + R"(,"tag":7})"));
+  EXPECT_FALSE(ok_of(bad));
+  EXPECT_EQ(error_of(bad).rfind("rt-bad-request:", 0), 0u);
+
+  service.drain();
+  support::JsonValue v = parse(request(R"({"op":"telemetry"})"));
+  ASSERT_TRUE(ok_of(v));
+  const support::JsonValue* telemetry = v.find("telemetry");
+  ASSERT_NE(telemetry, nullptr);
+  EXPECT_TRUE(telemetry->find("enabled")->bool_value);
+  const support::JsonValue* shards = telemetry->find("shards");
+  ASSERT_NE(shards, nullptr);
+  double recorded = 0;
+  for (const support::JsonValue& shard : shards->elements) {
+    recorded += shard.find("spans_recorded")->number_value;
+  }
+  EXPECT_EQ(recorded, 2);  // open + run
+  // The span carries the tag: visible in the Chrome export.
+  EXPECT_NE(service.telemetry_chrome_json().find("\"tag\":\"wire-req-1\""),
+            std::string::npos);
+}
+
 TEST_F(WireProtocol, BadRequestsGetStableErrors) {
   auto expect_error = [&](const std::string& line,
                           const std::string& prefix) {
@@ -183,6 +237,12 @@ TEST(RemoteWire, ClientServerLoopback) {
   std::string json;
   ASSERT_TRUE(client.stats(&json, &error)) << error;
   EXPECT_NE(json.find("\"submitted\""), std::string::npos);
+  // This server runs without telemetry; the op still answers.
+  std::string telemetry_json;
+  ASSERT_TRUE(client.telemetry(&telemetry_json, &error)) << error;
+  support::JsonValue telemetry = parse(telemetry_json);
+  ASSERT_NE(telemetry.find("enabled"), nullptr);
+  EXPECT_FALSE(telemetry.find("enabled")->bool_value);
   std::string describe;
   ASSERT_TRUE(client.describe(&describe, &error)) << error;
   EXPECT_NE(describe.find("fig1.hic"), std::string::npos);

@@ -37,6 +37,48 @@ TEST(HistogramTest, EmptyHistogramIsSafe) {
   EXPECT_EQ(h.max(), 0u);
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
   EXPECT_FALSE(h.str().empty());
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.percentile(99), 0u);
+}
+
+TEST(HistogramTest, PercentileWalksCumulativeBuckets) {
+  Histogram h({10, 20, 50, 100});
+  // 100 samples: 50 in [0,10), 30 in [10,20), 15 in [20,50), 5 in [50,100).
+  for (int i = 0; i < 50; ++i) h.record(5);
+  for (int i = 0; i < 30; ++i) h.record(15);
+  for (int i = 0; i < 15; ++i) h.record(30);
+  for (int i = 0; i < 5; ++i) h.record(60);
+  // p50 target = 50th sample -> first bucket; its upper bound is 10.
+  EXPECT_EQ(h.percentile(50), 10u);
+  // p80 target = 80th sample -> second bucket (cumulative 80).
+  EXPECT_EQ(h.percentile(80), 20u);
+  // p95 target = 95th sample -> third bucket (cumulative 95).
+  EXPECT_EQ(h.percentile(95), 50u);
+  // p99 lands in the last populated bucket; clamped to observed max 60.
+  EXPECT_EQ(h.percentile(99), 60u);
+  EXPECT_EQ(h.percentile(100), 60u);
+}
+
+TEST(HistogramTest, PercentileClampsToObservedRange) {
+  Histogram h({100, 1000});
+  h.record(40);
+  h.record(42);
+  h.record(44);
+  // All samples share one bucket with upper bound 100; reported values
+  // clamp to the observed [40, 44] rather than the bucket bound.
+  EXPECT_EQ(h.percentile(0), 40u);
+  EXPECT_EQ(h.percentile(50), 44u);
+  EXPECT_EQ(h.percentile(99), 44u);
+  EXPECT_EQ(h.percentile(200), 44u);  // out-of-range p treated as 100
+}
+
+TEST(HistogramTest, PercentileCoversOverflowBucket) {
+  Histogram h({10});
+  h.record(5);
+  for (int i = 0; i < 9; ++i) h.record(1000 + i);
+  // 90% of samples sit in the overflow bucket, whose bound is the max.
+  EXPECT_EQ(h.percentile(50), 1008u);
+  EXPECT_EQ(h.percentile(5), 10u);  // first bucket, clamped below max
 }
 
 TEST(MetricsRegistryTest, CountersAndLookup) {
