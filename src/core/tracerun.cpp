@@ -6,6 +6,7 @@
 #include "cover/registry.h"
 #include "cover/report.h"
 #include "cover/sink.h"
+#include "diffview/bundle.h"
 #include "support/strings.h"
 #include "trace/bus.h"
 #include "trace/chrome.h"
@@ -22,9 +23,15 @@ TraceRunResult run_traced(const CompileResult& result,
   std::unique_ptr<trace::MetricsSink> metrics;
   std::unique_ptr<trace::VcdSink> vcd;
   std::unique_ptr<trace::ChromeTraceSink> chrome;
-  if (options.sinks.metrics) {
+  std::unique_ptr<diffview::BundleCaptureSink> bundle;
+  // A bundle embeds a metrics snapshot, so capture implies the sink.
+  if (options.sinks.metrics || options.sinks.bundle) {
     metrics = std::make_unique<trace::MetricsSink>();
     bus.attach(metrics.get());
+  }
+  if (options.sinks.bundle) {
+    bundle = std::make_unique<diffview::BundleCaptureSink>();
+    bus.attach(bundle.get());
   }
   if (options.sinks.vcd) {
     vcd = std::make_unique<trace::VcdSink>();
@@ -55,7 +62,7 @@ TraceRunResult run_traced(const CompileResult& result,
   out.cycles = simulator->cycle();
   bus.finish(out.cycles);
 
-  if (metrics != nullptr) {
+  if (options.sinks.metrics) {
     out.metrics_text = metrics->report_text();
     out.metrics_json = metrics->report_json();
   }
@@ -67,6 +74,34 @@ TraceRunResult run_traced(const CompileResult& result,
         cover_model, options.cover_run_id,
         cover::org_prefix(result.options().organization));
   }
+  if (bundle != nullptr) {
+    diffview::Manifest manifest;
+    manifest.run_id = options.bundle_run_id;
+    manifest.program = options.bundle_program;
+    manifest.source_digest = options.bundle_source_digest;
+    manifest.organization = sim::to_string(result.options().organization);
+    manifest.use_cam = result.options().use_cam;
+    manifest.chain = result.options().schedule.chain_states;
+    manifest.infer = result.options().infer_dependencies;
+    manifest.passes = options.passes;
+    manifest.max_cycles = options.max_cycles;
+    manifest.cycles = out.cycles;
+    manifest.converged = out.converged;
+    for (const BramReport& report : result.bram_reports()) {
+      diffview::AreaRow row;
+      row.bram_id = report.bram_id;
+      row.module_name = report.module_name;
+      row.luts = report.area.luts;
+      row.ffs = report.area.ffs;
+      row.slices = report.area.slices;
+      row.fmax_mhz = report.timing.fmax_mhz;
+      manifest.areas.push_back(std::move(row));
+    }
+    out.bundle_manifest_json = manifest.to_json();
+    out.bundle_events_jsonl = bundle->events_jsonl();
+    out.bundle_metrics_json = metrics->report_json();
+  }
+
   out.stall_report = simulator->stall_report();
 
   for (const sim::DepRound& round : simulator->rounds()) {

@@ -24,6 +24,12 @@ struct TraceRunOptions {
   bool cover = false;
   /// Stamped into the coverage DB record (e.g. "fig1@arbitrated").
   std::string cover_run_id;
+  /// Stamped into the bundle manifest when sinks.bundle is set
+  /// (run id like the cover one; program = source name; digest of the
+  /// source text, diffview::digest_hex).
+  std::string bundle_run_id;
+  std::string bundle_program;
+  std::string bundle_source_digest;
 };
 
 /// Everything a traced run produces. Artifact strings are only filled for
@@ -44,6 +50,13 @@ struct TraceRunResult {
   std::string cover_text;
   /// One JSONL coverage-DB record, no trailing newline (options.cover).
   std::string cover_record;
+  /// Run-bundle pieces (sinks.bundle): the manifest, the captured event
+  /// stream, and a metrics snapshot taken even when sinks.metrics was off.
+  /// Write with diffview::write_bundle (cover_record doubles as the
+  /// bundle's cover.jsonl when options.cover is also set).
+  std::string bundle_manifest_json;
+  std::string bundle_events_jsonl;
+  std::string bundle_metrics_json;
 };
 
 /// Runs `result`'s program for `passes` passes with the requested trace

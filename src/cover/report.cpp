@@ -1,9 +1,29 @@
 #include "cover/report.h"
 
+#include <algorithm>
+
 #include "support/json.h"
 #include "support/strings.h"
 
 namespace hicsync::cover {
+
+namespace {
+
+/// Holes in name order: Covergroup::holes() follows bin declaration
+/// order, which for a model merged from a coverage DB is record order —
+/// stable for one file but not across re-orderings of the same records.
+/// Sorting makes the report byte-stable for semantically equal inputs
+/// (cover.report_deterministic runs hic-cover twice and compares).
+std::vector<const CoverBin*> sorted_holes(const Covergroup& g) {
+  std::vector<const CoverBin*> holes = g.holes();
+  std::sort(holes.begin(), holes.end(),
+            [](const CoverBin* a, const CoverBin* b) {
+              return a->name < b->name;
+            });
+  return holes;
+}
+
+}  // namespace
 
 std::string format_pct(double pct) {
   return support::format("%.1f%%", pct);
@@ -31,7 +51,7 @@ std::string emit_report_md(const CoverageModel& model) {
   out += "\n## Holes\n\n";
   bool any = false;
   for (const Covergroup* g : model.groups()) {
-    const auto holes = g->holes();
+    const auto holes = sorted_holes(*g);
     if (holes.empty()) continue;
     any = true;
     out += support::format("* `%s` (%zu):", g->name().c_str(), holes.size());
@@ -58,7 +78,7 @@ std::string emit_report_json(const CoverageModel& model) {
     w.key("coverage_pct").value(g->coverage_pct());
     w.key("unexpected").value(static_cast<std::uint64_t>(g->unexpected()));
     w.key("holes").begin_array();
-    for (const CoverBin* b : g->holes()) w.value(b->name);
+    for (const CoverBin* b : sorted_holes(*g)) w.value(b->name);
     w.end_array();
     w.end_object();
   }

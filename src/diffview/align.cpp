@@ -1,0 +1,391 @@
+#include "diffview/align.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "support/json.h"
+#include "support/strings.h"
+
+namespace hicsync::diffview {
+
+namespace {
+
+constexpr const char* kEndOfStream = "<end of stream>";
+constexpr const char* kMissingStream = "<missing stream>";
+constexpr const char* kIncompleteSuffix = " (round incomplete)";
+
+bool is_incomplete_round(const std::string& key) {
+  const std::size_t n = std::strlen(kIncompleteSuffix);
+  return key.size() >= n &&
+         key.compare(key.size() - n, n, kIncompleteSuffix) == 0;
+}
+
+/// Applies AlignOptions::tail_insensitive to one capture's streams:
+/// drops trailing incomplete rounds and caps dep streams at the round
+/// budget. (Incomplete rounds are always trailing — mid-capture a round
+/// only leaves the open queue via RoundComplete.)
+void trim_tail(std::vector<Stream>& streams, const AlignOptions& options) {
+  if (!options.tail_insensitive) return;
+  for (Stream& s : streams) {
+    if (s.cls != StreamClass::DepRound) continue;
+    while (!s.entries.empty() && is_incomplete_round(s.entries.back().key)) {
+      s.entries.pop_back();
+    }
+    if (options.rounds_per_dep > 0 &&
+        s.entries.size() > static_cast<std::size_t>(options.rounds_per_dep)) {
+      s.entries.resize(static_cast<std::size_t>(options.rounds_per_dep));
+    }
+  }
+  // A dep whose every round was still open (deadlock tail) trims to
+  // nothing; drop it so the missing-stream logic sees it that way.
+  streams.erase(std::remove_if(streams.begin(), streams.end(),
+                               [](const Stream& s) {
+                                 return s.entries.empty();
+                               }),
+                streams.end());
+}
+
+/// An in-progress dependency round while scanning one capture.
+struct OpenRound {
+  std::string producer;
+  std::uint64_t produce_cycle = 0;
+  std::size_t produce_index = 0;
+  std::set<std::string> consumers;
+};
+
+std::string round_key(const OpenRound& r, bool complete) {
+  std::string key = "produce " + (r.producer.empty() ? "?" : r.producer);
+  key += " -> {";
+  bool first = true;
+  for (const std::string& c : r.consumers) {
+    if (!first) key += ",";
+    key += c;
+    first = false;
+  }
+  key += "}";
+  if (!complete) key += " (round incomplete)";
+  return key;
+}
+
+/// Renders events[anchor-n .. anchor+n], marking the anchor line.
+std::vector<std::string> context_window(
+    const std::vector<CapturedEvent>& events, std::size_t anchor, int n) {
+  std::vector<std::string> out;
+  if (events.empty()) return out;
+  if (anchor >= events.size()) anchor = events.size() - 1;
+  const std::size_t lo =
+      anchor >= static_cast<std::size_t>(n) ? anchor - n : 0;
+  const std::size_t hi =
+      std::min(events.size() - 1, anchor + static_cast<std::size_t>(n));
+  for (std::size_t i = lo; i <= hi; ++i) {
+    out.push_back((i == anchor ? ">> " : "   ") + events[i].str());
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(StreamClass c) {
+  switch (c) {
+    case StreamClass::DepRound:
+      return "dep-round";
+    case StreamClass::FsmState:
+      return "fsm-state";
+    case StreamClass::Blocking:
+      return "blocking";
+  }
+  return "?";
+}
+
+std::vector<Stream> extract_streams(const std::vector<CapturedEvent>& events) {
+  // std::map keeps the stream ids sorted, which makes extraction (and
+  // therefore alignment and reporting) order deterministic.
+  std::map<std::string, Stream> streams;
+  auto stream = [&](StreamClass cls, const std::string& prefix,
+                    const std::string& entity) -> Stream& {
+    const std::string id = prefix + entity;
+    Stream& s = streams[id];
+    if (s.id.empty()) {
+      s.cls = cls;
+      s.id = id;
+    }
+    return s;
+  };
+
+  // Rounds of one dep overlap in the event stream: with a double-buffered
+  // dependency slot the producer's next write can land before the previous
+  // round's last consume + round-complete. Rounds still *complete* in FIFO
+  // order, so each dep keeps a queue of open rounds — Produce pushes,
+  // Consume attributes to the oldest open round, RoundComplete flushes it.
+  std::map<std::string, std::deque<OpenRound>> open;
+  auto flush_front = [&](const std::string& dep, bool complete) {
+    auto it = open.find(dep);
+    if (it == open.end() || it->second.empty()) return;
+    Stream& s = stream(StreamClass::DepRound, "dep/", dep);
+    const OpenRound& r = it->second.front();
+    s.entries.push_back(
+        {round_key(r, complete), r.produce_cycle, r.produce_index});
+    it->second.pop_front();
+  };
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const CapturedEvent& e = events[i];
+    switch (e.kind) {
+      case trace::EventKind::Produce: {
+        if (e.dep.empty()) break;
+        OpenRound r;
+        r.producer = e.thread;
+        r.produce_cycle = e.cycle;
+        r.produce_index = i;
+        open[e.dep].push_back(std::move(r));
+        break;
+      }
+      case trace::EventKind::Consume: {
+        if (e.dep.empty()) break;
+        auto it = open.find(e.dep);
+        if (it != open.end() && !it->second.empty() && !e.thread.empty()) {
+          it->second.front().consumers.insert(e.thread);
+        }
+        break;
+      }
+      case trace::EventKind::RoundComplete: {
+        if (!e.dep.empty()) flush_front(e.dep, /*complete=*/true);
+        break;
+      }
+      case trace::EventKind::FsmState: {
+        if (e.thread.empty()) break;
+        Stream& s = stream(StreamClass::FsmState, "fsm/", std::string(e.thread));
+        s.entries.push_back(
+            {support::format("state %lld", static_cast<long long>(e.value)),
+             e.cycle, i});
+        break;
+      }
+      case trace::EventKind::ThreadBlock:
+      case trace::EventKind::ThreadUnblock: {
+        if (e.thread.empty()) break;
+        Stream& s =
+            stream(StreamClass::Blocking, "block/", std::string(e.thread));
+        std::string key =
+            e.kind == trace::EventKind::ThreadBlock ? "block" : "unblock";
+        if (e.cause != trace::StallCause::None) {
+          key += support::format(" cause=%s", trace::to_string(e.cause));
+        }
+        if (!e.dep.empty()) key += " dep=" + e.dep;
+        s.entries.push_back({std::move(key), e.cycle, i});
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  // Rounds still open at end of capture (timeout, deadlock) are semantic
+  // state too: a run that never completed round k must not align with one
+  // that did.
+  for (auto& [dep, queue] : open) {
+    while (!queue.empty()) flush_front(dep, /*complete=*/false);
+  }
+
+  std::vector<Stream> out;
+  out.reserve(streams.size());
+  for (auto& [id, s] : streams) out.push_back(std::move(s));
+  return out;
+}
+
+AlignResult align(const std::vector<CapturedEvent>& a,
+                  const std::vector<CapturedEvent>& b,
+                  const AlignOptions& options) {
+  std::vector<Stream> sa = extract_streams(a);
+  std::vector<Stream> sb = extract_streams(b);
+  trim_tail(sa, options);
+  trim_tail(sb, options);
+  std::map<std::string, const Stream*> by_id_a, by_id_b;
+  for (const Stream& s : sa) by_id_a[s.id] = &s;
+  for (const Stream& s : sb) by_id_b[s.id] = &s;
+
+  std::set<std::string> ids;
+  for (const Stream& s : sa) ids.insert(s.id);
+  for (const Stream& s : sb) ids.insert(s.id);
+
+  AlignResult result;
+  for (const std::string& id : ids) {
+    const Stream* pa = by_id_a.count(id) ? by_id_a.at(id) : nullptr;
+    const Stream* pb = by_id_b.count(id) ? by_id_b.at(id) : nullptr;
+    const StreamClass cls = (pa != nullptr ? pa : pb)->cls;
+    if (cls == StreamClass::Blocking && !options.compare_blocking) continue;
+    result.streams_compared++;
+
+    if (pa == nullptr || pb == nullptr) {
+      const Stream& present = pa != nullptr ? *pa : *pb;
+      Divergence d;
+      d.stream = id;
+      d.cls = cls;
+      d.index = 0;
+      d.key_a = pa != nullptr ? present.entries.front().key : kMissingStream;
+      d.key_b = pb != nullptr ? present.entries.front().key : kMissingStream;
+      const KeyedEntry& anchor = present.entries.front();
+      d.cycle_a = pa != nullptr ? anchor.cycle : 0;
+      d.cycle_b = pb != nullptr ? anchor.cycle : 0;
+      if (pa != nullptr) {
+        d.context_a = context_window(a, anchor.event_index, options.context);
+      }
+      if (pb != nullptr) {
+        d.context_b = context_window(b, anchor.event_index, options.context);
+      }
+      result.divergences.push_back(std::move(d));
+      continue;
+    }
+
+    const std::vector<KeyedEntry>& ea = pa->entries;
+    const std::vector<KeyedEntry>& eb = pb->entries;
+    const std::size_t n = std::min(ea.size(), eb.size());
+    std::size_t matched = 0;
+    StreamSkew skew;
+    skew.stream = id;
+    while (matched < n && ea[matched].key == eb[matched].key) {
+      const std::int64_t s = static_cast<std::int64_t>(eb[matched].cycle) -
+                             static_cast<std::int64_t>(ea[matched].cycle);
+      skew.last_skew = s;
+      skew.max_abs_skew = std::max(skew.max_abs_skew, s < 0 ? -s : s);
+      ++matched;
+    }
+    skew.matched = matched;
+    result.entries_matched += matched;
+    if (matched > 0) result.skews.push_back(skew);
+
+    if (matched == ea.size() && matched == eb.size()) continue;
+    // Tail-insensitive state/blocking streams compare by common prefix:
+    // extra entries on one side are the next pass starting, not a
+    // semantic difference.
+    if (options.tail_insensitive && cls != StreamClass::DepRound &&
+        matched == n) {
+      continue;
+    }
+
+    Divergence d;
+    d.stream = id;
+    d.cls = cls;
+    d.index = matched;
+    const bool a_has = matched < ea.size();
+    const bool b_has = matched < eb.size();
+    d.key_a = a_has ? ea[matched].key : kEndOfStream;
+    d.key_b = b_has ? eb[matched].key : kEndOfStream;
+    // For an exhausted side, anchor the context at its last entry so the
+    // window shows what it was doing when the other run kept going.
+    const KeyedEntry& anchor_a = a_has ? ea[matched] : ea.back();
+    const KeyedEntry& anchor_b = b_has ? eb[matched] : eb.back();
+    d.cycle_a = anchor_a.cycle;
+    d.cycle_b = anchor_b.cycle;
+    d.context_a = context_window(a, anchor_a.event_index, options.context);
+    d.context_b = context_window(b, anchor_b.event_index, options.context);
+    result.divergences.push_back(std::move(d));
+  }
+
+  std::stable_sort(result.divergences.begin(), result.divergences.end(),
+                   [](const Divergence& x, const Divergence& y) {
+                     return std::min(x.cycle_a, x.cycle_b) <
+                            std::min(y.cycle_a, y.cycle_b);
+                   });
+  result.equivalent = result.divergences.empty();
+  return result;
+}
+
+std::string AlignResult::forensics_text() const {
+  std::string out;
+  if (equivalent) {
+    out += support::format(
+        "trace alignment: EQUIVALENT (%zu streams, %zu entries matched)\n",
+        streams_compared, entries_matched);
+    return out;
+  }
+  out += support::format(
+      "trace alignment: DIVERGED (%zu of %zu streams; %zu entries matched "
+      "before first divergence)\n",
+      divergences.size(), streams_compared, entries_matched);
+  const Divergence& d = divergences.front();
+  out += support::format(
+      "first divergence: stream %s [%s] entry %zu\n", d.stream.c_str(),
+      to_string(d.cls), d.index);
+  out += support::format("  run A (cycle %llu): %s\n",
+                         static_cast<unsigned long long>(d.cycle_a),
+                         d.key_a.c_str());
+  out += support::format("  run B (cycle %llu): %s\n",
+                         static_cast<unsigned long long>(d.cycle_b),
+                         d.key_b.c_str());
+  if (!d.context_a.empty()) {
+    out += "  context A:\n";
+    for (const std::string& line : d.context_a) out += "    " + line + "\n";
+  }
+  if (!d.context_b.empty()) {
+    out += "  context B:\n";
+    for (const std::string& line : d.context_b) out += "    " + line + "\n";
+  }
+  if (divergences.size() > 1) {
+    out += "also diverged:\n";
+    for (std::size_t i = 1; i < divergences.size(); ++i) {
+      const Divergence& o = divergences[i];
+      out += support::format("  %s entry %zu: '%s' vs '%s'\n",
+                             o.stream.c_str(), o.index, o.key_a.c_str(),
+                             o.key_b.c_str());
+    }
+  }
+  return out;
+}
+
+std::string AlignResult::json() const {
+  support::JsonWriter w(/*indent=*/2);
+  w.begin_object();
+  w.key("equivalent").value(equivalent);
+  w.key("streams_compared").value(static_cast<std::uint64_t>(streams_compared));
+  w.key("entries_matched").value(static_cast<std::uint64_t>(entries_matched));
+  w.key("divergences").begin_array();
+  for (const Divergence& d : divergences) {
+    w.begin_object();
+    w.key("stream").value(d.stream);
+    w.key("class").value(to_string(d.cls));
+    w.key("index").value(static_cast<std::uint64_t>(d.index));
+    w.key("key_a").value(d.key_a);
+    w.key("key_b").value(d.key_b);
+    w.key("cycle_a").value(d.cycle_a);
+    w.key("cycle_b").value(d.cycle_b);
+    w.key("context_a").begin_array();
+    for (const std::string& line : d.context_a) w.value(line);
+    w.end_array();
+    w.key("context_b").begin_array();
+    for (const std::string& line : d.context_b) w.value(line);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("skews").begin_array();
+  for (const StreamSkew& s : skews) {
+    w.begin_object();
+    w.key("stream").value(s.stream);
+    w.key("matched").value(static_cast<std::uint64_t>(s.matched));
+    w.key("last_skew").value(static_cast<std::int64_t>(s.last_skew));
+    w.key("max_abs_skew").value(static_cast<std::int64_t>(s.max_abs_skew));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string render_thread_tail(const std::vector<CapturedEvent>& events,
+                               const std::string& thread, int n) {
+  std::vector<const CapturedEvent*> mine;
+  for (const CapturedEvent& e : events) {
+    if (e.thread == thread) mine.push_back(&e);
+  }
+  const std::size_t keep =
+      std::min(mine.size(), static_cast<std::size_t>(n > 0 ? n : 0));
+  std::string out;
+  for (std::size_t i = mine.size() - keep; i < mine.size(); ++i) {
+    out += "    " + mine[i]->str() + "\n";
+  }
+  return out;
+}
+
+}  // namespace hicsync::diffview

@@ -1,0 +1,134 @@
+// Semantic alignment of two trace captures (the hic-diff engine).
+//
+// Two runs of the same program — under different memory organizations,
+// backends, or toolchain versions — never agree cycle for cycle; what must
+// agree is the *synchronization semantics*. The engine therefore reduces
+// each event stream to per-entity key sequences and aligns those:
+//
+//   dep/<id>      one entry per dependency round: the produce edge, the
+//                 (sorted) consumer set, the round-complete edge. Order
+//                 within a round is timing; the round sequence is not.
+//   fsm/<thread>  the thread's FSM-state entry sequence. Synthesis is
+//                 organization-independent, so the visited-state sequence
+//                 must match even though the cycles stretch.
+//   block/<thread> ThreadBlock/ThreadUnblock sequence — timing-coupled
+//                 (an access that stalls under arbitration may sail
+//                 through the event-driven schedule), so it only takes
+//                 part when AlignOptions::compare_blocking is set (e.g.
+//                 same-configuration determinism checks, replay
+//                 forensics).
+//
+// The first mismatched entry of any participating stream is the *first
+// divergence*: reported with both keys, both cycles, and a ±context
+// window of raw events from each capture. Matched entries additionally
+// yield per-stream cycle skew (how far run B runs behind run A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "diffview/bundle.h"
+
+namespace hicsync::diffview {
+
+enum class StreamClass { DepRound, FsmState, Blocking };
+
+[[nodiscard]] const char* to_string(StreamClass c);
+
+/// One semantic entry of a stream: the key that must match across runs,
+/// plus where it happened in this run (for skew and context windows).
+struct KeyedEntry {
+  std::string key;
+  std::uint64_t cycle = 0;
+  /// Index into the capture's raw event vector of the entry's anchor
+  /// event (the produce for a round, the FsmState event, the block edge).
+  std::size_t event_index = 0;
+};
+
+struct Stream {
+  StreamClass cls = StreamClass::DepRound;
+  std::string id;  // "dep/mt1", "fsm/t2", "block/t3"
+  std::vector<KeyedEntry> entries;
+};
+
+/// Reduces a capture to its semantic streams, ids sorted.
+[[nodiscard]] std::vector<Stream> extract_streams(
+    const std::vector<CapturedEvent>& events);
+
+/// Cycle-skew summary of one fully- or partially-matched stream.
+struct StreamSkew {
+  std::string stream;
+  std::size_t matched = 0;
+  /// B's cycle minus A's cycle at the last matched entry / the largest
+  /// absolute difference over all matched entries.
+  std::int64_t last_skew = 0;
+  std::int64_t max_abs_skew = 0;
+};
+
+struct Divergence {
+  std::string stream;
+  StreamClass cls = StreamClass::DepRound;
+  std::size_t index = 0;       // first mismatched entry within the stream
+  std::string key_a;           // "<end of stream>" when A ran out
+  std::string key_b;
+  std::uint64_t cycle_a = 0;
+  std::uint64_t cycle_b = 0;
+  std::vector<std::string> context_a;  // rendered raw events around it
+  std::vector<std::string> context_b;
+};
+
+struct AlignOptions {
+  /// Raw events of context on each side of the divergence anchor.
+  int context = 5;
+  /// Include block/<thread> streams in the comparison (off by default:
+  /// blocking dynamics are timing, not semantics, across organizations).
+  bool compare_blocking = false;
+  /// The runs were stopped at a pass bound, so the very tail of each
+  /// capture is timing, not semantics: one organization may squeeze in
+  /// the start of the next round or the next FSM state before the
+  /// simulator notices convergence. When set, trailing incomplete rounds
+  /// are dropped from dep streams and state/blocking sequences are
+  /// compared over their common prefix only. Used by the differential
+  /// equivalence tests; hic-diff compares full captures.
+  bool tail_insensitive = false;
+  /// With tail_insensitive: cap each dep stream at its first n completed
+  /// rounds (0 = no cap). Matches the differential tests' pass budget.
+  int rounds_per_dep = 0;
+};
+
+struct AlignResult {
+  /// True when every participating stream matched entry for entry.
+  bool equivalent = false;
+  /// One divergence per diverging stream (its first), ordered by the
+  /// earlier of the two anchor cycles — divergences[0] is *the* first
+  /// divergence of the comparison.
+  std::vector<Divergence> divergences;
+  std::vector<StreamSkew> skews;
+  std::size_t streams_compared = 0;
+  std::size_t entries_matched = 0;
+
+  [[nodiscard]] const Divergence* first() const {
+    return divergences.empty() ? nullptr : &divergences.front();
+  }
+  /// The human-readable forensics record: verdict, first divergence with
+  /// both context windows, remaining divergent streams, skew summary.
+  [[nodiscard]] std::string forensics_text() const;
+  /// The same record as a JSON object (for hic-diff --emit=json).
+  [[nodiscard]] std::string json() const;
+};
+
+/// Aligns two captures. `a` and `b` are full event streams in emission
+/// order (BundleCaptureSink::events() or a loaded bundle's events).
+[[nodiscard]] AlignResult align(const std::vector<CapturedEvent>& a,
+                                const std::vector<CapturedEvent>& b,
+                                const AlignOptions& options = {});
+
+/// Renders the last `n` events of `events` that touch `thread` (as the
+/// emitting thread) — the context tail replay forensics attaches when a
+/// counterexample fails to reproduce the predicted blocked set.
+[[nodiscard]] std::string render_thread_tail(
+    const std::vector<CapturedEvent>& events, const std::string& thread,
+    int n);
+
+}  // namespace hicsync::diffview

@@ -449,6 +449,7 @@ Service::Stats Service::stats() const {
   s.failed = failed_.load(std::memory_order_relaxed);
   s.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
   s.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
+  trace::Histogram merged(kLatencyBoundsUs);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     ShardStats ss;
@@ -464,10 +465,17 @@ Service::Stats Service::stats() const {
       ss.latency_p50_us = h->percentile(50);
       ss.latency_p95_us = h->percentile(95);
       ss.latency_p99_us = h->percentile(99);
+      merged.merge(*h);
     }
     s.runs += ss.runs;
     s.sim_cycles += ss.sim_cycles;
     s.shards.push_back(ss);
+  }
+  s.latency_samples = merged.count();
+  if (merged.count() > 0) {
+    s.latency_p50_us = merged.percentile(50);
+    s.latency_p95_us = merged.percentile(95);
+    s.latency_p99_us = merged.percentile(99);
   }
   return s;
 }
@@ -487,6 +495,13 @@ std::string Service::stats_text() const {
       static_cast<unsigned long long>(s.sessions_closed),
       static_cast<unsigned long long>(s.runs),
       static_cast<unsigned long long>(s.sim_cycles));
+  out += support::format(
+      "  latency (all shards): p50/p95/p99 %llu/%llu/%llu us over %llu "
+      "sample(s)\n",
+      static_cast<unsigned long long>(s.latency_p50_us),
+      static_cast<unsigned long long>(s.latency_p95_us),
+      static_cast<unsigned long long>(s.latency_p99_us),
+      static_cast<unsigned long long>(s.latency_samples));
   for (const ShardStats& ss : s.shards) {
     out += support::format(
         "  shard %d: %llu commands (%llu runs, %llu failures), "
@@ -524,6 +539,12 @@ std::string Service::stats_json() const {
   w.key("sessions_closed").value(s.sessions_closed);
   w.key("runs").value(s.runs);
   w.key("sim_cycles").value(s.sim_cycles);
+  w.key("latency_us").begin_object();
+  w.key("samples").value(s.latency_samples);
+  w.key("p50").value(s.latency_p50_us);
+  w.key("p95").value(s.latency_p95_us);
+  w.key("p99").value(s.latency_p99_us);
+  w.end_object();
   w.key("shard_stats").begin_array();
   for (const ShardStats& ss : s.shards) {
     w.begin_object();

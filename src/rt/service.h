@@ -154,6 +154,13 @@ class Service {
     std::uint64_t sessions_closed = 0;
     std::uint64_t runs = 0;
     std::uint64_t sim_cycles = 0;
+    /// Service-level completion-latency percentiles (µs): every shard's
+    /// rt.latency_us histogram folded together with Histogram::merge
+    /// (identical bucket layouts, so the merge is exact).
+    std::uint64_t latency_samples = 0;
+    std::uint64_t latency_p50_us = 0;
+    std::uint64_t latency_p95_us = 0;
+    std::uint64_t latency_p99_us = 0;
     std::vector<ShardStats> shards;
   };
   [[nodiscard]] Stats stats() const;

@@ -19,6 +19,11 @@
 //                           verbatim in <file> (EXPERIMENTS.md)
 //   --threshold k=pct       per-metric regression threshold override
 //                           (repeatable); bare number sets the default
+//   --diff <bundleA> <bundleB>
+//                           append the hic-diff cross-run comparison
+//                           section (trace alignment + §4-style delta
+//                           tables) to the dashboard-md report; bundles
+//                           are directories from hicc --trace=bundle
 //
 // Exit status:
 //   0  success / all checks green
@@ -34,6 +39,7 @@
 #include <sstream>
 #include <string>
 
+#include "diffview/delta.h"
 #include "perf/compare.h"
 #include "perf/constraints.h"
 #include "perf/history.h"
@@ -50,6 +56,7 @@ constexpr const char* kUsageBody =
     "  --emit=dashboard-md|experiments-md|html [--out <path>]\n"
     "  --check | --check-drift <file>\n"
     "  --threshold <key>=<pct> | --threshold <pct>\n"
+    "  --diff <bundleA> <bundleB>\n"
     "exit codes: 0 ok, 1 check failed, 2 usage, 3 missing data, 5 drift\n";
 
 void usage(const char* argv0) {
@@ -81,6 +88,8 @@ int main(int argc, char** argv) {
   std::string run_id = "local";
   std::string timestamp;
   std::string drift_file;
+  std::string diff_a;
+  std::string diff_b;
   bool ingest = false;
   bool check = false;
   bool emit_explicit = false;
@@ -119,6 +128,9 @@ int main(int argc, char** argv) {
       check = true;
     } else if (arg == "--check-drift") {
       drift_file = next();
+    } else if (arg == "--diff") {
+      diff_a = next();
+      diff_b = next();
     } else if (arg == "--threshold") {
       std::string spec = next();
       std::size_t eq = spec.find('=');
@@ -253,9 +265,11 @@ int main(int argc, char** argv) {
   }
 
   // Emit the requested report (skipped when the invocation was check-only
-  // with the default emit target and no --out).
-  const bool check_only =
-      (check || !drift_file.empty()) && !emit_explicit && out_path.empty();
+  // with the default emit target and no --out). --diff forces the
+  // dashboard out even on a check-only invocation: the comparison section
+  // is the requested artifact.
+  const bool check_only = (check || !drift_file.empty()) && !emit_explicit &&
+                          out_path.empty() && diff_a.empty();
   if (!check_only) {
     std::string body;
     if (emit == "experiments-md") {
@@ -264,6 +278,17 @@ int main(int argc, char** argv) {
       body = perf::emit_html(inputs, constraints, comparisons);
     } else {
       body = perf::emit_dashboard_md(inputs, constraints, comparisons);
+    }
+    if (!diff_a.empty() && emit == "dashboard-md") {
+      diffview::Bundle a;
+      diffview::Bundle b;
+      std::string error;
+      if (!diffview::load_bundle(diff_a, &a, &error) ||
+          !diffview::load_bundle(diff_b, &b, &error)) {
+        std::fprintf(stderr, "--diff: %s\n", error.c_str());
+        return 2;
+      }
+      body += "\n" + diffview::diff_bundles(a, b).markdown();
     }
     if (!write_output(out_path, body)) return 2;
   }

@@ -19,11 +19,16 @@
 //
 // Observability (hic-trace / hic-perf; see docs/OBSERVABILITY.md):
 //   --trace=kind[,out=PATH]         attach a trace sink to the simulation;
-//                                   kind is metrics|vcd|chrome, repeatable.
-//                                   Implies --simulate 1 when --simulate is
-//                                   absent. Default outputs: metrics to
-//                                   stdout, vcd to <input stem>.vcd, chrome
-//                                   to <input stem>.trace.json
+//                                   kind is metrics|vcd|chrome|bundle,
+//                                   repeatable. Implies --simulate 1 when
+//                                   --simulate is absent. Default outputs:
+//                                   metrics to stdout, vcd to
+//                                   <input stem>.vcd, chrome to
+//                                   <input stem>.trace.json, bundle to the
+//                                   <input stem>.bundle/ directory (a
+//                                   hic-diff run bundle: manifest + full
+//                                   event capture + metrics snapshot +
+//                                   coverage record when --cover is on)
 //   --profile[=out.json]            profile the compiler itself: per-pass
 //                                   wall time, peak RSS and AST/netlist
 //                                   node counts. Text report to stdout; the
@@ -88,6 +93,7 @@
 #include "core/compiler.h"
 #include "core/tbgen.h"
 #include "core/tracerun.h"
+#include "diffview/bundle.h"
 #include "perf/profile.h"
 #include "rt/artifact.h"
 #include "trace/options.h"
@@ -106,7 +112,7 @@ constexpr const char* kUsageBody =
     "  --emit-artifact <out.hicbin>\n"
     "  --report | --no-report\n"
     "  --simulate <passes>\n"
-    "  --trace=metrics|vcd|chrome[,out=PATH]   (repeatable)\n"
+    "  --trace=metrics|vcd|chrome|bundle[,out=PATH]   (repeatable)\n"
     "  --profile[=out.json]\n"
     "  --cover[=out.jsonl]\n"
     "  --chain\n"
@@ -441,16 +447,21 @@ int main(int argc, char** argv) {
     run_options.passes = simulate_passes;
     run_options.max_cycles = max_cycles;
     run_options.cover = cover;
+    // Run id: "<input stem>@<organization>" (coverage DB and bundle
+    // manifest share the convention).
+    const std::string base =
+        slash == std::string::npos ? stem : stem.substr(slash + 1);
+    const std::string run_id =
+        base + "@" +
+        (options.organization == sim::OrgKind::Arbitrated ? "arbitrated"
+                                                          : "eventdriven");
     if (cover) {
-      // DB run id: "<input stem>@<organization>".
-      std::string base = slash == std::string::npos
-                             ? stem
-                             : stem.substr(slash + 1);
-      run_options.cover_run_id =
-          base + "@" +
-          (options.organization == sim::OrgKind::Arbitrated
-               ? "arbitrated"
-               : "eventdriven");
+      run_options.cover_run_id = run_id;
+    }
+    if (trace_opts.bundle) {
+      run_options.bundle_run_id = run_id;
+      run_options.bundle_program = base;
+      run_options.bundle_source_digest = diffview::digest_hex(source);
     }
     core::TraceRunResult run = core::run_traced(*result, run_options);
 
@@ -485,6 +496,19 @@ int main(int argc, char** argv) {
                                  run.metrics_json)) {
         return 2;
       }
+    }
+    if (trace_opts.bundle) {
+      std::string dir = trace_opts.bundle_out.empty() ? stem + ".bundle"
+                                                      : trace_opts.bundle_out;
+      std::string error;
+      if (!diffview::write_bundle(dir, run.bundle_manifest_json,
+                                  run.bundle_events_jsonl,
+                                  run.bundle_metrics_json, run.cover_record,
+                                  &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+      }
+      std::printf("wrote run bundle %s/\n", dir.c_str());
     }
     if (cover) {
       if (cover_out.empty()) {

@@ -31,6 +31,50 @@ void Histogram::record(std::uint64_t sample) {
   ++count_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+  count_ += other.count_;
+  if (other.bounds_ == bounds_) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    return;
+  }
+  // Different bucket layout: re-bin each foreign bucket at its highest
+  // representable sample (bucket i of `other` covers samples < bounds[i]),
+  // overflow at the observed max. The moments folded above stay exact.
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    if (other.counts_[i] == 0) continue;
+    const std::uint64_t representative =
+        i < other.bounds_.size()
+            ? (other.bounds_[i] == 0 ? 0 : other.bounds_[i] - 1)
+            : other.max_;
+    const std::size_t j = static_cast<std::size_t>(
+        std::upper_bound(bounds_.begin(), bounds_.end(), representative) -
+        bounds_.begin());
+    counts_[j] += other.counts_[i];
+  }
+}
+
+Histogram Histogram::from_snapshot(
+    std::vector<std::uint64_t> upper_bounds,
+    const std::vector<std::uint64_t>& bucket_counts, std::uint64_t min,
+    std::uint64_t max, std::uint64_t sum) {
+  Histogram h(std::move(upper_bounds));
+  const std::size_t n = std::min(h.counts_.size(), bucket_counts.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    h.counts_[i] = bucket_counts[i];
+    h.count_ += bucket_counts[i];
+  }
+  h.min_ = min;
+  h.max_ = max;
+  h.sum_ = sum;
+  return h;
+}
+
 double Histogram::mean() const {
   return count_ == 0 ? 0.0
                      : static_cast<double>(sum_) / static_cast<double>(count_);
@@ -137,11 +181,17 @@ std::string MetricsRegistry::json() const {
   for (const auto& [name, h] : histograms_) {
     out += support::format(
         "%s\n    \"%s\": {\"count\": %llu, \"min\": %llu, \"mean\": %.3f, "
-        "\"max\": %llu, \"buckets\": [",
+        "\"max\": %llu, \"sum\": %llu, \"bounds\": [",
         first ? "" : ",", name.c_str(),
         static_cast<unsigned long long>(h.count()),
         static_cast<unsigned long long>(h.min()), h.mean(),
-        static_cast<unsigned long long>(h.max()));
+        static_cast<unsigned long long>(h.max()),
+        static_cast<unsigned long long>(h.sum()));
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      out += support::format("%s%llu", i == 0 ? "" : ", ",
+                             static_cast<unsigned long long>(h.bounds()[i]));
+    }
+    out += "], \"buckets\": [";
     for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
       out += support::format(
           "%s%llu", i == 0 ? "" : ", ",

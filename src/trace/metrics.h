@@ -35,9 +35,27 @@ class Histogram {
 
   void record(std::uint64_t sample);
 
+  /// Folds `other` into this histogram: bucket-wise sum plus exact
+  /// count/sum/min/max folds. With identical bucket layouts the merge is
+  /// exact; with different layouts each foreign bucket is re-binned at its
+  /// highest representable sample (overflow at the observed max), so the
+  /// aggregate moments stay exact and only bucket placement is
+  /// approximate. Used by hic-diff and rt::Service to aggregate per-shard
+  /// series before reporting percentiles.
+  void merge(const Histogram& other);
+
+  /// Reconstructs a histogram from its serialized form (the registry JSON
+  /// rendering: bounds, per-bucket counts incl. overflow, min/max/sum).
+  /// Extra or missing trailing bucket counts are ignored/zero-filled.
+  [[nodiscard]] static Histogram from_snapshot(
+      std::vector<std::uint64_t> upper_bounds,
+      const std::vector<std::uint64_t>& bucket_counts, std::uint64_t min,
+      std::uint64_t max, std::uint64_t sum);
+
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
   [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
   [[nodiscard]] double mean() const;
   /// Approximate p-th percentile (0 < p <= 100) by cumulative bucket walk:
   /// the upper bound of the first bucket whose cumulative count reaches

@@ -34,9 +34,12 @@ bool parse_trace_spec(std::string_view spec, TraceOptions& opts,
   } else if (kind == "chrome") {
     opts.chrome = true;
     if (!out.empty()) opts.chrome_out = out;
+  } else if (kind == "bundle") {
+    opts.bundle = true;
+    if (!out.empty()) opts.bundle_out = out;
   } else {
     return fail("unknown --trace kind '" + kind +
-                "' (expected metrics|vcd|chrome)");
+                "' (expected metrics|vcd|chrome|bundle)");
   }
   return true;
 }

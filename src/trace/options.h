@@ -1,9 +1,9 @@
 // Parsing of `--trace=` specs shared by hicc and other drivers.
 //
-// A spec is `kind[,out=PATH]` with kind one of metrics|vcd|chrome; the flag
-// is repeatable, each occurrence enabling one sink. Empty paths mean the
-// driver's default (metrics: stdout; vcd/chrome: derived from the input
-// file name).
+// A spec is `kind[,out=PATH]` with kind one of metrics|vcd|chrome|bundle;
+// the flag is repeatable, each occurrence enabling one sink. Empty paths
+// mean the driver's default (metrics: stdout; vcd/chrome: derived from the
+// input file name; bundle: `<input stem>.bundle/` directory).
 #pragma once
 
 #include <string>
@@ -15,11 +15,15 @@ struct TraceOptions {
   bool metrics = false;
   bool vcd = false;
   bool chrome = false;
+  bool bundle = false;
   std::string metrics_out;  // empty = stdout
   std::string vcd_out;      // empty = <input stem>.vcd
   std::string chrome_out;   // empty = <input stem>.trace.json
+  std::string bundle_out;   // empty = <input stem>.bundle (a directory)
 
-  [[nodiscard]] bool any() const { return metrics || vcd || chrome; }
+  [[nodiscard]] bool any() const {
+    return metrics || vcd || chrome || bundle;
+  }
 };
 
 /// Applies one spec to `opts`. Returns false (and fills `error`) on an

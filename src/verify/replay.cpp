@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "diffview/align.h"
+#include "diffview/bundle.h"
 #include "sim/system.h"
 #include "support/strings.h"
 #include "trace/bus.h"
@@ -10,40 +12,26 @@ namespace hicsync::verify {
 
 namespace {
 
-/// Records block/unblock events per thread so replay can confirm the
-/// counterexample's blocked set on the trace bus (not only through the
-/// simulator's own diagnostics).
-class BlockRecorder : public trace::TraceSink {
- public:
-  struct ThreadState {
-    int blocks = 0;
-    int unblocks = 0;
-    std::string last_dep;  // dep of the most recent ThreadBlock
-  };
-
-  void on_event(const trace::Event& e) override {
+/// True when `thread`'s last observed trace-bus transition was into
+/// blocked, on dependency `dep`. Replay confirms the counterexample's
+/// blocked set both through the simulator's own diagnostics and through
+/// the ThreadBlock/ThreadUnblock events of the capture.
+bool trace_blocked_on(const std::vector<diffview::CapturedEvent>& events,
+                      const std::string& thread, const std::string& dep) {
+  int blocks = 0;
+  int unblocks = 0;
+  std::string last_dep;
+  for (const diffview::CapturedEvent& e : events) {
+    if (e.thread != thread) continue;
     if (e.kind == trace::EventKind::ThreadBlock) {
-      ThreadState& st = threads_[std::string(e.thread)];
-      ++st.blocks;
-      st.last_dep = std::string(e.dep);
+      ++blocks;
+      last_dep = e.dep;
     } else if (e.kind == trace::EventKind::ThreadUnblock) {
-      ++threads_[std::string(e.thread)].unblocks;
+      ++unblocks;
     }
   }
-
-  /// True when `thread`'s last observed transition was into blocked, on
-  /// dependency `dep`.
-  [[nodiscard]] bool blocked_on(const std::string& thread,
-                                const std::string& dep) const {
-    auto it = threads_.find(thread);
-    if (it == threads_.end()) return false;
-    return it->second.blocks > it->second.unblocks &&
-           it->second.last_dep == dep;
-  }
-
- private:
-  std::map<std::string, ThreadState> threads_;
-};
+  return blocks > unblocks && last_dep == dep;
+}
 
 }  // namespace
 
@@ -60,8 +48,8 @@ ReplayResult replay(const hic::Program& program, const hic::Sema& sema,
   sim::SystemSim sys(program, sema, map, plans, so);
 
   trace::TraceBus bus;
-  BlockRecorder recorder;
-  bus.attach(&recorder);
+  diffview::BundleCaptureSink capture;
+  bus.attach(&capture);
   sys.set_trace(&bus);
 
   // Bias the simulator toward the counterexample interleaving: release
@@ -87,6 +75,7 @@ ReplayResult replay(const hic::Program& program, const hic::Sema& sema,
   bool converged = sys.run_until_passes(options.passes, options.max_cycles);
   bus.finish(sys.cycle());
   r.cycles = sys.cycle();
+  const std::vector<diffview::CapturedEvent>& events = capture.events();
 
   if (converged) {
     r.report = support::format(
@@ -98,8 +87,12 @@ ReplayResult replay(const hic::Program& program, const hic::Sema& sema,
   }
 
   // The system wedged; confirm it wedged the way the checker predicted.
+  // A mismatching thread gets a forensics tail — its last trace-bus
+  // events — so the divergence between prediction and simulation is
+  // inspectable, not just asserted.
   bool all_matched = !cex.blocked.empty();
   std::string detail;
+  std::string forensics;
   for (const CexInfo::Blocked& b : cex.blocked) {
     bool sim_blocked = sys.is_blocked(b.thread);
     bool dep_matched = false;
@@ -108,7 +101,7 @@ ReplayResult replay(const hic::Program& program, const hic::Sema& sema,
       dep_matched = d.waiting_on.find("dep '" + b.dep + "'") !=
                     std::string::npos;
     }
-    bool traced = recorder.blocked_on(b.thread, b.dep);
+    bool traced = trace_blocked_on(events, b.thread, b.dep);
     bool ok = sim_blocked && dep_matched && traced;
     all_matched = all_matched && ok;
     if (ok) r.blocked_threads.push_back(b.thread);
@@ -116,6 +109,14 @@ ReplayResult replay(const hic::Program& program, const hic::Sema& sema,
         "  %-12s expected blocked on '%s': sim=%s dep=%s trace=%s\n",
         b.thread.c_str(), b.dep.c_str(), sim_blocked ? "blocked" : "free",
         dep_matched ? "match" : "MISMATCH", traced ? "blocked" : "free");
+    if (!ok) {
+      const std::string tail =
+          diffview::render_thread_tail(events, b.thread, 8);
+      forensics += support::format("  last trace events of %s:\n%s",
+                                   b.thread.c_str(),
+                                   tail.empty() ? "    (none)\n"
+                                                : tail.c_str());
+    }
   }
 
   r.reproduced = all_matched;
@@ -125,6 +126,7 @@ ReplayResult replay(const hic::Program& program, const hic::Sema& sema,
       static_cast<unsigned long long>(r.cycles),
       sim::to_string(organization));
   r.report += detail;
+  if (!forensics.empty()) r.report += forensics;
   r.report += sys.stall_report();
   return r;
 }

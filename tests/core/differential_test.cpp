@@ -4,6 +4,13 @@
 // dependency rounds with the same consumer sets — timing differs, the
 // synchronization semantics must not. Runs on the shipped examples so the
 // artifacts users see are the ones verified.
+//
+// Equivalence is decided by the hic-diff alignment engine: each run is
+// captured on the trace bus and reduced to semantic streams (dependency
+// rounds, FSM-state sequences), and a mismatch fails with the engine's
+// first-divergence forensics record — which stream diverged, both keys,
+// and a raw-event context window from each run — instead of a bare
+// container assert.
 
 #include <gtest/gtest.h>
 
@@ -17,6 +24,9 @@
 #include <vector>
 
 #include "core/compiler.h"
+#include "diffview/align.h"
+#include "diffview/bundle.h"
+#include "trace/bus.h"
 
 #ifndef HICSYNC_EXAMPLES_DIR
 #error "HICSYNC_EXAMPLES_DIR must point at the examples/ directory"
@@ -25,20 +35,33 @@
 namespace hicsync::core {
 namespace {
 
-std::string read_example(const std::string& name) {
-  std::ifstream in(std::string(HICSYNC_EXAMPLES_DIR) + "/" + name);
-  EXPECT_TRUE(in.good()) << "cannot open example " << name;
+std::string read_source(const std::string& dir, const std::string& name) {
+  std::ifstream in(dir + "/" + name);
+  EXPECT_TRUE(in.good()) << "cannot open " << name;
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
 }
 
+std::string read_example(const std::string& name) {
+  return read_source(HICSYNC_EXAMPLES_DIR, name);
+}
+
+std::string read_fixture(const std::string& name) {
+  return read_source(std::string(HICSYNC_EXAMPLES_DIR) +
+                         "/../tests/verify/fixtures",
+                     name);
+}
+
 struct RunOutcome {
+  bool converged = false;
   std::uint64_t cycles = 0;
   // thread -> var -> final value.
   std::map<std::string, std::map<std::string, std::uint64_t>> regs;
   // Completed rounds as (dep, sorted consumer names), in completion order.
   std::vector<std::pair<std::string, std::vector<std::string>>> rounds;
+  // Full trace capture, for the alignment engine.
+  std::vector<diffview::CapturedEvent> events;
 };
 
 // Deterministic externs: value depends only on the function name and its
@@ -60,18 +83,27 @@ void register_externs(sim::SystemSim& simulator,
 RunOutcome run(const std::string& source, sim::OrgKind kind,
                const std::vector<std::string>& fns,
                const std::map<std::string, std::vector<std::string>>& vars,
-               int passes) {
+               int passes, bool expect_converged = true,
+               std::uint64_t max_cycles = 100000) {
   CompileOptions options;
   options.organization = kind;
   auto result = Compiler(options).compile(source);
   EXPECT_TRUE(result->ok()) << result->diags().str();
   auto simulator = result->make_simulator();
   register_externs(*simulator, fns);
-  EXPECT_TRUE(simulator->run_until_passes(passes, 100000))
-      << simulator->stall_report();
+
+  trace::TraceBus bus;
+  diffview::BundleCaptureSink capture;
+  bus.attach(&capture);
+  simulator->set_trace(&bus);
 
   RunOutcome out;
+  out.converged = simulator->run_until_passes(passes, max_cycles);
   out.cycles = simulator->cycle();
+  bus.finish(out.cycles);
+  if (expect_converged) {
+    EXPECT_TRUE(out.converged) << simulator->stall_report();
+  }
   for (const auto& [thread, names] : vars) {
     for (const std::string& var : names) {
       out.regs[thread][var] = simulator->register_value(thread, var);
@@ -85,6 +117,7 @@ RunOutcome run(const std::string& source, sim::OrgKind kind,
     std::sort(consumers.begin(), consumers.end());
     out.rounds.emplace_back(r.dep_id, std::move(consumers));
   }
+  out.events = capture.events();
   return out;
 }
 
@@ -93,28 +126,27 @@ void expect_equivalent(const RunOutcome& arb, const RunOutcome& ev,
   // Identical final register values, thread by thread.
   EXPECT_EQ(arb.regs, ev.regs);
 
-  // Identical per-dependency round sequences: the k-th completed round of
-  // each dependency has the same consumer set in both organizations. The
-  // simulation stops as soon as every thread reaches `passes`, so rounds
-  // past that point may be caught mid-flight — only the first `passes`
-  // fully-consumed rounds per dependency are deterministic; the tail is
-  // timing, not semantics.
-  auto by_dep = [passes](const RunOutcome& o) {
-    std::map<std::string, std::vector<std::vector<std::string>>> m;
-    for (const auto& [dep, consumers] : o.rounds) {
-      if (consumers.empty()) continue;  // round still open at stop
-      auto& list = m[dep];
-      if (list.size() < static_cast<std::size_t>(passes)) {
-        list.push_back(consumers);
-      }
+  // Semantic trace alignment. The simulation stops as soon as every
+  // thread reaches `passes`, so activity past that point (a next round
+  // caught mid-flight, the first states of a next pass) is timing, not
+  // semantics — tail_insensitive drops it and caps each dependency at
+  // its first `passes` completed rounds.
+  diffview::AlignOptions options;
+  options.tail_insensitive = true;
+  options.rounds_per_dep = passes;
+  const diffview::AlignResult aligned =
+      diffview::align(arb.events, ev.events, options);
+  EXPECT_TRUE(aligned.equivalent) << aligned.forensics_text();
+
+  // Every dependency actually completed its `passes` rounds (the aligner
+  // would also pass on two equally-empty captures).
+  for (const diffview::Stream& s : diffview::extract_streams(arb.events)) {
+    if (s.cls != diffview::StreamClass::DepRound) continue;
+    int complete = 0;
+    for (const diffview::KeyedEntry& e : s.entries) {
+      if (e.key.find("(round incomplete)") == std::string::npos) ++complete;
     }
-    return m;
-  };
-  auto arb_by_dep = by_dep(arb);
-  auto ev_by_dep = by_dep(ev);
-  EXPECT_EQ(arb_by_dep, ev_by_dep);
-  for (const auto& [dep, list] : arb_by_dep) {
-    EXPECT_EQ(list.size(), static_cast<std::size_t>(passes)) << dep;
+    EXPECT_GE(complete, passes) << s.id;
   }
 }
 
@@ -146,6 +178,32 @@ TEST(DifferentialOrgTest, PipelineExample) {
   std::set<std::string> deps;
   for (const auto& [dep, consumers] : arb.rounds) deps.insert(dep);
   EXPECT_EQ(deps, (std::set<std::string>{"m_hdr", "m_meta"}));
+}
+
+// A seeded bug must not merely fail — it must produce a forensics record
+// naming the first diverging stream with context from both runs. The
+// ed_slot_order fixture diverges between the organizations on dependency
+// d1's round sequence.
+TEST(DifferentialOrgTest, SeededBugYieldsForensics) {
+  const std::string source = read_fixture("ed_slot_order.hic");
+  RunOutcome arb = run(source, sim::OrgKind::Arbitrated, {}, {}, 1,
+                       /*expect_converged=*/false, /*max_cycles=*/2000);
+  RunOutcome ev = run(source, sim::OrgKind::EventDriven, {}, {}, 1,
+                      /*expect_converged=*/false, /*max_cycles=*/2000);
+  const diffview::AlignResult aligned = diffview::align(arb.events, ev.events);
+  ASSERT_FALSE(aligned.equivalent);
+  ASSERT_NE(aligned.first(), nullptr);
+  EXPECT_EQ(aligned.first()->stream, "dep/d1");
+
+  const std::string forensics = aligned.forensics_text();
+  EXPECT_NE(forensics.find("trace alignment: DIVERGED"), std::string::npos)
+      << forensics;
+  EXPECT_NE(forensics.find("first divergence: stream dep/d1"),
+            std::string::npos)
+      << forensics;
+  // Both raw-event context windows made it into the record.
+  EXPECT_NE(forensics.find("context A:"), std::string::npos) << forensics;
+  EXPECT_NE(forensics.find("context B:"), std::string::npos) << forensics;
 }
 
 }  // namespace

@@ -1,0 +1,243 @@
+#include "diffview/align.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hicsync::diffview {
+namespace {
+
+CapturedEvent ev(std::uint64_t cycle, trace::EventKind kind,
+                 std::string thread = "", std::string dep = "",
+                 std::int64_t value = -1) {
+  CapturedEvent e;
+  e.cycle = cycle;
+  e.kind = kind;
+  e.thread = std::move(thread);
+  e.dep = std::move(dep);
+  e.value = value;
+  return e;
+}
+
+using trace::EventKind;
+
+// Rounds of one dependency overlap in a real event stream: with a
+// double-buffered slot the producer's next write lands before the previous
+// round's last consume. Attribution must be FIFO — a consume belongs to
+// the oldest open round.
+TEST(ExtractStreams, AttributesOverlappingRoundsFifo) {
+  std::vector<CapturedEvent> events;
+  events.push_back(ev(1, EventKind::Produce, "p", "d1"));
+  events.push_back(ev(2, EventKind::Consume, "c1", "d1"));
+  events.push_back(ev(3, EventKind::Produce, "p", "d1"));  // round 2 opens
+  events.push_back(ev(4, EventKind::Consume, "c2", "d1"));  // still round 1
+  events.push_back(ev(4, EventKind::RoundComplete, "", "d1"));
+  events.push_back(ev(5, EventKind::Consume, "c1", "d1"));  // round 2
+
+  const std::vector<Stream> streams = extract_streams(events);
+  ASSERT_EQ(streams.size(), 1u);
+  const Stream& s = streams.front();
+  EXPECT_EQ(s.id, "dep/d1");
+  EXPECT_EQ(s.cls, StreamClass::DepRound);
+  ASSERT_EQ(s.entries.size(), 2u);
+  EXPECT_EQ(s.entries[0].key, "produce p -> {c1,c2}");
+  EXPECT_EQ(s.entries[0].cycle, 1u);
+  // Round 2 was still open at end of capture — semantic state, kept.
+  EXPECT_EQ(s.entries[1].key, "produce p -> {c1} (round incomplete)");
+}
+
+TEST(ExtractStreams, SeparatesFsmAndBlockingStreams) {
+  std::vector<CapturedEvent> events;
+  events.push_back(ev(0, EventKind::FsmState, "t1", "", 0));
+  events.push_back(ev(1, EventKind::ThreadBlock, "t1", "d1"));
+  events.push_back(ev(2, EventKind::ThreadUnblock, "t1"));
+  events.push_back(ev(3, EventKind::FsmState, "t1", "", 1));
+
+  const std::vector<Stream> streams = extract_streams(events);
+  ASSERT_EQ(streams.size(), 2u);  // sorted: block/t1, fsm/t1
+  EXPECT_EQ(streams[0].id, "block/t1");
+  ASSERT_EQ(streams[0].entries.size(), 2u);
+  EXPECT_EQ(streams[0].entries[0].key, "block dep=d1");
+  EXPECT_EQ(streams[0].entries[1].key, "unblock");
+  EXPECT_EQ(streams[1].id, "fsm/t1");
+  ASSERT_EQ(streams[1].entries.size(), 2u);
+  EXPECT_EQ(streams[1].entries[0].key, "state 0");
+  EXPECT_EQ(streams[1].entries[1].key, "state 1");
+}
+
+std::vector<CapturedEvent> one_round(std::uint64_t base,
+                                     const std::string& consumer) {
+  std::vector<CapturedEvent> events;
+  events.push_back(ev(base, EventKind::Produce, "p", "d1"));
+  events.push_back(ev(base + 2, EventKind::Consume, consumer, "d1"));
+  events.push_back(ev(base + 2, EventKind::RoundComplete, "", "d1"));
+  return events;
+}
+
+TEST(Align, EquivalentRunsReportSkewNotDivergence) {
+  // Same semantics, different cycles: B lags A by 7 cycles.
+  const std::vector<CapturedEvent> a = one_round(1, "c1");
+  const std::vector<CapturedEvent> b = one_round(8, "c1");
+
+  const AlignResult r = align(a, b);
+  EXPECT_TRUE(r.equivalent) << r.forensics_text();
+  EXPECT_EQ(r.streams_compared, 1u);
+  EXPECT_EQ(r.entries_matched, 1u);
+  ASSERT_EQ(r.skews.size(), 1u);
+  EXPECT_EQ(r.skews[0].stream, "dep/d1");
+  EXPECT_EQ(r.skews[0].last_skew, 7);
+  EXPECT_EQ(r.skews[0].max_abs_skew, 7);
+  EXPECT_NE(r.forensics_text().find("EQUIVALENT"), std::string::npos);
+}
+
+TEST(Align, KeyMismatchYieldsFirstDivergenceWithContext) {
+  const std::vector<CapturedEvent> a = one_round(1, "c1");
+  const std::vector<CapturedEvent> b = one_round(1, "c2");
+
+  const AlignResult r = align(a, b);
+  ASSERT_FALSE(r.equivalent);
+  ASSERT_NE(r.first(), nullptr);
+  const Divergence& d = *r.first();
+  EXPECT_EQ(d.stream, "dep/d1");
+  EXPECT_EQ(d.index, 0u);
+  EXPECT_EQ(d.key_a, "produce p -> {c1}");
+  EXPECT_EQ(d.key_b, "produce p -> {c2}");
+  EXPECT_FALSE(d.context_a.empty());
+  EXPECT_FALSE(d.context_b.empty());
+  // The anchor line is marked in the raw-event window.
+  EXPECT_EQ(d.context_a.front().rfind(">> ", 0), 0u);
+
+  const std::string text = r.forensics_text();
+  EXPECT_NE(text.find("DIVERGED"), std::string::npos);
+  EXPECT_NE(text.find("first divergence: stream dep/d1"), std::string::npos);
+  EXPECT_NE(text.find("context A:"), std::string::npos);
+  EXPECT_NE(text.find("context B:"), std::string::npos);
+}
+
+TEST(Align, MissingStreamIsADivergence) {
+  const std::vector<CapturedEvent> a = one_round(1, "c1");
+  const std::vector<CapturedEvent> b;  // B never produced anything
+
+  const AlignResult r = align(a, b);
+  ASSERT_FALSE(r.equivalent);
+  ASSERT_NE(r.first(), nullptr);
+  EXPECT_EQ(r.first()->stream, "dep/d1");
+  EXPECT_EQ(r.first()->key_b, "<missing stream>");
+}
+
+TEST(Align, BlockingStreamsAreOptIn) {
+  std::vector<CapturedEvent> a = one_round(1, "c1");
+  a.push_back(ev(1, EventKind::ThreadBlock, "c1", "d1"));
+  a.push_back(ev(2, EventKind::ThreadUnblock, "c1"));
+  const std::vector<CapturedEvent> b = one_round(1, "c1");
+
+  // Default: blocking dynamics are timing across organizations — ignored.
+  EXPECT_TRUE(align(a, b).equivalent);
+
+  AlignOptions options;
+  options.compare_blocking = true;
+  const AlignResult strict = align(a, b, options);
+  ASSERT_FALSE(strict.equivalent);
+  EXPECT_EQ(strict.first()->stream, "block/c1");
+  EXPECT_EQ(strict.first()->key_b, "<missing stream>");
+}
+
+TEST(Align, TailInsensitiveDropsMidFlightActivity) {
+  // A squeezed in the start of round 2 before the pass bound stopped it;
+  // B did not. Semantically both completed one round.
+  std::vector<CapturedEvent> a = one_round(1, "c1");
+  a.push_back(ev(5, EventKind::Produce, "p", "d1"));  // incomplete tail
+  std::vector<CapturedEvent> b = one_round(1, "c1");
+
+  EXPECT_FALSE(align(a, b).equivalent);  // full comparison sees the tail
+
+  AlignOptions options;
+  options.tail_insensitive = true;
+  EXPECT_TRUE(align(a, b, options).equivalent);
+}
+
+TEST(Align, RoundsPerDepCapsTheComparison) {
+  std::vector<CapturedEvent> a = one_round(1, "c1");
+  std::vector<CapturedEvent> extra = one_round(10, "c1");
+  a.insert(a.end(), extra.begin(), extra.end());  // A completed 2 rounds
+  const std::vector<CapturedEvent> b = one_round(1, "c1");  // B only 1
+
+  AlignOptions options;
+  options.tail_insensitive = true;
+  EXPECT_FALSE(align(a, b, options).equivalent);
+  options.rounds_per_dep = 1;
+  EXPECT_TRUE(align(a, b, options).equivalent);
+}
+
+TEST(Align, TailInsensitiveComparesStatesByCommonPrefix) {
+  std::vector<CapturedEvent> a;
+  a.push_back(ev(0, EventKind::FsmState, "t1", "", 0));
+  a.push_back(ev(3, EventKind::FsmState, "t1", "", 1));
+  std::vector<CapturedEvent> b = a;
+  b.push_back(ev(6, EventKind::FsmState, "t1", "", 0));  // next pass begun
+
+  EXPECT_FALSE(align(a, b).equivalent);
+
+  AlignOptions options;
+  options.tail_insensitive = true;
+  EXPECT_TRUE(align(a, b, options).equivalent);
+
+  // A genuine mismatch inside the common prefix still diverges.
+  b[1].value = 2;
+  const AlignResult r = align(a, b, options);
+  ASSERT_FALSE(r.equivalent);
+  EXPECT_EQ(r.first()->stream, "fsm/t1");
+  EXPECT_EQ(r.first()->key_a, "state 1");
+  EXPECT_EQ(r.first()->key_b, "state 2");
+}
+
+TEST(Align, FirstDivergenceIsEarliestByCycle) {
+  // Two diverging streams; d2 diverges at cycle 2, d1 at cycle 10.
+  std::vector<CapturedEvent> a;
+  a.push_back(ev(2, EventKind::Produce, "p", "d2"));
+  a.push_back(ev(3, EventKind::Consume, "c1", "d2"));
+  a.push_back(ev(3, EventKind::RoundComplete, "", "d2"));
+  std::vector<CapturedEvent> extra = one_round(10, "c1");
+  a.insert(a.end(), extra.begin(), extra.end());
+
+  std::vector<CapturedEvent> b;
+  b.push_back(ev(2, EventKind::Produce, "p", "d2"));
+  b.push_back(ev(3, EventKind::Consume, "c2", "d2"));  // differs
+  b.push_back(ev(3, EventKind::RoundComplete, "", "d2"));
+  extra = one_round(10, "c2");  // differs too, later
+  b.insert(b.end(), extra.begin(), extra.end());
+
+  const AlignResult r = align(a, b);
+  ASSERT_EQ(r.divergences.size(), 2u);
+  EXPECT_EQ(r.first()->stream, "dep/d2");
+  EXPECT_NE(r.forensics_text().find("also diverged:"), std::string::npos);
+}
+
+TEST(Align, JsonRenderingParsesBack) {
+  const AlignResult r = align(one_round(1, "c1"), one_round(1, "c2"));
+  support::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(support::parse_json(r.json(), &doc, &error)) << error;
+  ASSERT_NE(doc.find("equivalent"), nullptr);
+  EXPECT_FALSE(doc.find("equivalent")->bool_value);
+  ASSERT_NE(doc.find("divergences"), nullptr);
+  EXPECT_EQ(doc.find("divergences")->elements.size(), 1u);
+}
+
+TEST(RenderThreadTail, KeepsTheLastEventsOfOneThread) {
+  std::vector<CapturedEvent> events;
+  events.push_back(ev(1, EventKind::FsmState, "t1", "", 0));
+  events.push_back(ev(2, EventKind::FsmState, "t2", "", 0));
+  events.push_back(ev(3, EventKind::ThreadBlock, "t1", "d1"));
+  events.push_back(ev(4, EventKind::ThreadBlock, "t2", "d2"));
+
+  const std::string tail = render_thread_tail(events, "t1", 1);
+  EXPECT_NE(tail.find("cycle 3"), std::string::npos);
+  EXPECT_EQ(tail.find("cycle 1"), std::string::npos);  // only last 1 kept
+  EXPECT_EQ(tail.find("t2"), std::string::npos);
+  EXPECT_EQ(render_thread_tail(events, "missing", 5), "");
+}
+
+}  // namespace
+}  // namespace hicsync::diffview

@@ -1,0 +1,204 @@
+#include "diffview/bundle.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/compiler.h"
+#include "netapp/scenarios.h"
+#include "support/json.h"
+#include "trace/bus.h"
+
+#ifndef HICSYNC_TEST_BINDIR
+#error "HICSYNC_TEST_BINDIR must point at the test binary directory"
+#endif
+
+namespace hicsync::diffview {
+namespace {
+
+std::unique_ptr<BundleCaptureSink> capture_figure1(sim::OrgKind kind) {
+  core::CompileOptions options;
+  options.organization = kind;
+  auto result = core::Compiler(options).compile(netapp::figure1_source());
+  EXPECT_TRUE(result->ok()) << result->diags().str();
+  auto simulator = result->make_simulator();
+  trace::TraceBus bus;
+  auto sink = std::make_unique<BundleCaptureSink>();
+  bus.attach(sink.get());
+  simulator->set_trace(&bus);
+  EXPECT_TRUE(simulator->run_until_passes(1, 10000));
+  bus.finish(simulator->cycle());
+  return sink;
+}
+
+class BundleCaptureBothOrgs : public ::testing::TestWithParam<sim::OrgKind> {};
+
+// The capture-sink schema check of the observability satellite: the JSONL
+// rendering parses back line by line with support::parse_jsonl, every
+// object carries the required fields, and emission order keeps cycles
+// nondecreasing (overall — the bus emits in simulation order).
+TEST_P(BundleCaptureBothOrgs, JsonlParsesBackWithMonotoneCycles) {
+  auto sink = capture_figure1(GetParam());
+  ASSERT_FALSE(sink->events().empty());
+  EXPECT_GT(sink->cycles(), 0u);
+
+  std::vector<support::JsonValue> lines;
+  std::string error;
+  ASSERT_TRUE(support::parse_jsonl(sink->events_jsonl(), &lines, &error))
+      << error;
+  ASSERT_EQ(lines.size(), sink->events().size());
+
+  static const std::set<std::string> kKinds = {
+      "port-request", "port-grant",  "port-stall",     "arb-win",
+      "slot-advance", "produce",     "consume",        "round-complete",
+      "fsm-state",    "thread-block", "thread-unblock", "pass-complete"};
+  std::uint64_t last_cycle = 0;
+  for (const support::JsonValue& v : lines) {
+    ASSERT_TRUE(v.is_object());
+    const support::JsonValue* cycle = v.find("cycle");
+    ASSERT_NE(cycle, nullptr);
+    ASSERT_TRUE(cycle->is_number());
+    const auto c = static_cast<std::uint64_t>(cycle->number_value);
+    EXPECT_GE(c, last_cycle);  // nondecreasing timestamps
+    last_cycle = c;
+    const support::JsonValue* kind = v.find("kind");
+    ASSERT_NE(kind, nullptr);
+    ASSERT_TRUE(kind->is_string());
+    EXPECT_TRUE(kKinds.count(kind->string_value))
+        << "unknown kind " << kind->string_value;
+  }
+
+  // And the round trip through the typed parser is lossless.
+  std::vector<CapturedEvent> parsed;
+  ASSERT_TRUE(parse_events_jsonl(sink->events_jsonl(), &parsed, &error))
+      << error;
+  ASSERT_EQ(parsed.size(), sink->events().size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].str(), sink->events()[i].str()) << "event " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothOrgs, BundleCaptureBothOrgs,
+                         ::testing::Values(sim::OrgKind::Arbitrated,
+                                           sim::OrgKind::EventDriven));
+
+TEST(CapturedEventTest, RenderingNamesEveryField) {
+  CapturedEvent e;
+  e.cycle = 42;
+  e.kind = trace::EventKind::PortStall;
+  e.port = trace::PortKind::C;
+  e.cause = trace::StallCause::DependencyNotProduced;
+  e.controller = 0;
+  e.pseudo_port = 1;
+  e.thread = "t2";
+  e.dep = "mt1";
+  e.value = 7;
+  EXPECT_EQ(e.str(),
+            "cycle 42 port-stall bram0 C1 cause=dependency-not-produced "
+            "thread=t2 dep=mt1 value=7");
+}
+
+TEST(ManifestTest, JsonRoundTripPreservesEveryField) {
+  Manifest m;
+  m.run_id = "fig1@arbitrated";
+  m.program = "fig1";
+  m.source_digest = digest_hex("thread t1 () {}");
+  m.organization = "arbitrated";
+  m.use_cam = false;
+  m.chain = true;
+  m.infer = true;
+  m.passes = 3;
+  m.max_cycles = 5000;
+  m.cycles = 123;
+  m.converged = true;
+  AreaRow row;
+  row.bram_id = 0;
+  row.module_name = "bram_ctrl_mt1";
+  row.luts = 134;
+  row.ffs = 75;
+  row.slices = 67;
+  row.fmax_mhz = 212.5;
+  m.areas.push_back(row);
+
+  support::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(support::parse_json(m.to_json(), &v, &error)) << error;
+  Manifest back;
+  ASSERT_TRUE(Manifest::from_json(v, &back, &error)) << error;
+  EXPECT_EQ(back.run_id, m.run_id);
+  EXPECT_EQ(back.program, m.program);
+  EXPECT_EQ(back.source_digest, m.source_digest);
+  EXPECT_EQ(back.organization, m.organization);
+  EXPECT_EQ(back.use_cam, m.use_cam);
+  EXPECT_EQ(back.chain, m.chain);
+  EXPECT_EQ(back.infer, m.infer);
+  EXPECT_EQ(back.passes, m.passes);
+  EXPECT_EQ(back.max_cycles, m.max_cycles);
+  EXPECT_EQ(back.cycles, m.cycles);
+  EXPECT_EQ(back.converged, m.converged);
+  ASSERT_EQ(back.areas.size(), 1u);
+  EXPECT_EQ(back.areas[0].module_name, "bram_ctrl_mt1");
+  EXPECT_EQ(back.areas[0].luts, 134);
+  EXPECT_DOUBLE_EQ(back.areas[0].fmax_mhz, 212.5);
+}
+
+TEST(ManifestTest, RejectsSchemaSkew) {
+  support::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(support::parse_json(
+      "{\"schema\": 999, \"organization\": \"arbitrated\"}", &v, &error));
+  Manifest m;
+  EXPECT_FALSE(Manifest::from_json(v, &m, &error));
+  EXPECT_NE(error.find("schema 999"), std::string::npos);
+}
+
+TEST(BundleIoTest, WriteThenLoadRoundTrips) {
+  auto sink = capture_figure1(sim::OrgKind::EventDriven);
+  Manifest m;
+  m.run_id = "fig1@eventdriven";
+  m.program = "fig1";
+  m.source_digest = digest_hex(netapp::figure1_source());
+  m.organization = "event-driven";
+  m.cycles = sink->cycles();
+  m.converged = true;
+
+  const std::string dir =
+      std::string(HICSYNC_TEST_BINDIR) + "/bundle_roundtrip.bundle";
+  std::string error;
+  ASSERT_TRUE(write_bundle(dir, m.to_json(), sink->events_jsonl(),
+                           "{\"cycles\": 7}", /*cover_record=*/"", &error))
+      << error;
+
+  Bundle b;
+  ASSERT_TRUE(load_bundle(dir, &b, &error)) << error;
+  EXPECT_EQ(b.manifest.run_id, "fig1@eventdriven");
+  EXPECT_EQ(b.manifest.cycles, sink->cycles());
+  EXPECT_EQ(b.events.size(), sink->events().size());
+  ASSERT_TRUE(b.metrics.is_object());
+  EXPECT_EQ(b.metrics.find("cycles")->number_value, 7.0);
+  EXPECT_FALSE(b.has_coverage);  // no cover.jsonl was written
+}
+
+TEST(BundleIoTest, LoadFailsOnMissingDirectoryWithDiagnostic) {
+  Bundle b;
+  std::string error;
+  EXPECT_FALSE(load_bundle(std::string(HICSYNC_TEST_BINDIR) + "/no_such_dir",
+                           &b, &error));
+  EXPECT_NE(error.find("manifest.json"), std::string::npos);
+}
+
+TEST(DigestTest, Fnv1a64MatchesKnownVectors) {
+  // FNV-1a 64-bit reference values.
+  EXPECT_EQ(digest_hex(""), "cbf29ce484222325");
+  EXPECT_EQ(digest_hex("a"), "af63dc4c8601ec8c");
+  // Stable across calls — the manifest digest is an identity.
+  EXPECT_EQ(digest_hex("thread"), digest_hex("thread"));
+  EXPECT_NE(digest_hex("thread"), digest_hex("threae"));
+}
+
+}  // namespace
+}  // namespace hicsync::diffview

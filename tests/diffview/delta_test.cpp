@@ -1,0 +1,130 @@
+#include "diffview/delta.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace hicsync::diffview {
+namespace {
+
+std::vector<CapturedEvent> one_round(const std::string& consumer) {
+  auto ev = [](std::uint64_t cycle, trace::EventKind kind,
+               std::string thread, std::string dep) {
+    CapturedEvent e;
+    e.cycle = cycle;
+    e.kind = kind;
+    e.thread = std::move(thread);
+    e.dep = std::move(dep);
+    return e;
+  };
+  return {ev(1, trace::EventKind::Produce, "p", "d1"),
+          ev(3, trace::EventKind::Consume, consumer, "d1"),
+          ev(3, trace::EventKind::RoundComplete, "", "d1")};
+}
+
+constexpr const char* kMetricsJson = R"({
+  "cycles": 10,
+  "ports": [
+    {"port": "bram0.C0", "requests": 5, "grants": 4,
+     "utilization_pct": 40.0, "stalls": {"dep-wait": 1}}
+  ],
+  "occupancy_pct": {"bram0": 50.0},
+  "registry": {
+    "counters": {"stall.dependency-not-produced": 1, "dep.d1.produces": 1},
+    "histograms": {
+      "dep.d1.round_latency": {"count": 1, "min": 4, "mean": 4.0, "max": 4,
+                               "sum": 4, "bounds": [2, 4, 8],
+                               "buckets": [0, 0, 1, 0]}
+    }
+  }
+})";
+
+Bundle make_bundle(const std::string& run_id, std::uint64_t cycles,
+                   std::vector<CapturedEvent> events,
+                   const char* metrics_json = kMetricsJson) {
+  Bundle b;
+  b.manifest.run_id = run_id;
+  b.manifest.program = "synthetic";
+  b.manifest.organization = "arbitrated";
+  b.manifest.cycles = cycles;
+  b.manifest.converged = true;
+  b.events = std::move(events);
+  std::string error;
+  EXPECT_TRUE(support::parse_json(metrics_json, &b.metrics, &error)) << error;
+  return b;
+}
+
+TEST(DiffBundles, IdenticalBundlesAreEqualExitZero) {
+  const Bundle a = make_bundle("x@arbitrated", 10, one_round("c1"));
+  const Bundle b = make_bundle("x@arbitrated", 10, one_round("c1"));
+  const DiffReport r = diff_bundles(a, b);
+  EXPECT_TRUE(r.align.equivalent);
+  EXPECT_FALSE(r.metric_deltas);
+  EXPECT_FALSE(r.trace_diverged());
+  EXPECT_EQ(r.exit_code(), 0);
+  EXPECT_NE(r.text().find("verdict: equal (exit 0)"), std::string::npos);
+}
+
+TEST(DiffBundles, MetricDeltaOnlyExitOne) {
+  const Bundle a = make_bundle("x@arbitrated", 10, one_round("c1"));
+  const Bundle b = make_bundle("x@eventdriven", 14, one_round("c1"));
+  const DiffReport r = diff_bundles(a, b);
+  EXPECT_TRUE(r.align.equivalent);  // same semantics, different cycle count
+  EXPECT_TRUE(r.metric_deltas);
+  EXPECT_EQ(r.exit_code(), 1);
+  EXPECT_NE(r.text().find("metric deltas only"), std::string::npos);
+}
+
+TEST(DiffBundles, TraceDivergenceExitTwo) {
+  const Bundle a = make_bundle("x@arbitrated", 10, one_round("c1"));
+  const Bundle b = make_bundle("x@eventdriven", 10, one_round("c2"));
+  const DiffReport r = diff_bundles(a, b);
+  EXPECT_TRUE(r.trace_diverged());
+  EXPECT_EQ(r.exit_code(), 2);
+  const std::string md = r.markdown();
+  EXPECT_NE(md.find("first divergence: stream dep/d1"), std::string::npos);
+  EXPECT_NE(md.find("**Verdict:** trace divergence (exit 2)"),
+            std::string::npos);
+}
+
+TEST(DiffBundles, SectionsTabulateTheMetricsSnapshot) {
+  const Bundle a = make_bundle("x@arbitrated", 10, one_round("c1"));
+  const Bundle b = make_bundle("x@arbitrated", 10, one_round("c1"));
+  const DiffReport r = diff_bundles(a, b);
+  const std::string md = r.markdown();
+  EXPECT_NE(md.find("## Cross-run diff: x@arbitrated vs x@arbitrated"),
+            std::string::npos);
+  EXPECT_NE(md.find("### Trace alignment"), std::string::npos);
+  EXPECT_NE(md.find("### Per-port utilization (%)"), std::string::npos);
+  EXPECT_NE(md.find("| bram0.C0 | 40.000 | 40.000 | 0 |"),
+            std::string::npos);
+  EXPECT_NE(md.find("### Stall-cause attribution (stall events)"),
+            std::string::npos);
+  EXPECT_NE(md.find("### Round latency (cycles)"), std::string::npos);
+  EXPECT_NE(md.find("| d1 p50 | 4 | 4 | 0 |"), std::string::npos);
+  EXPECT_NE(md.find("### Controller occupancy (%)"), std::string::npos);
+  // No area rows in these synthetic manifests: the section is dropped
+  // rather than rendered empty.
+  EXPECT_EQ(md.find("### Area / Fmax model"), std::string::npos);
+}
+
+TEST(DiffBundles, JsonReportParsesBackWithExitCode) {
+  const Bundle a = make_bundle("x@arbitrated", 10, one_round("c1"));
+  const Bundle b = make_bundle("x@eventdriven", 10, one_round("c2"));
+  const DiffReport r = diff_bundles(a, b);
+  support::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(support::parse_json(r.json(), &doc, &error)) << error;
+  ASSERT_NE(doc.find("exit_code"), nullptr);
+  EXPECT_EQ(doc.find("exit_code")->number_value, 2.0);
+  ASSERT_NE(doc.find("trace_diverged"), nullptr);
+  EXPECT_TRUE(doc.find("trace_diverged")->bool_value);
+  ASSERT_NE(doc.find("alignment"), nullptr);
+  EXPECT_TRUE(doc.find("alignment")->is_object());
+}
+
+}  // namespace
+}  // namespace hicsync::diffview

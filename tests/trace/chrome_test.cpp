@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "core/compiler.h"
 #include "netapp/scenarios.h"
+#include "support/json.h"
 #include "trace/bus.h"
 
 namespace hicsync::trace {
@@ -66,6 +69,70 @@ TEST_P(ChromeTraceBothOrgs, DocumentIsWellFormed) {
 INSTANTIATE_TEST_SUITE_P(BothOrgs, ChromeTraceBothOrgs,
                          ::testing::Values(sim::OrgKind::Arbitrated,
                                            sim::OrgKind::EventDriven));
+
+// Parse the document back with the real JSON parser (not substring
+// checks): every traceEvents element carries the schema the viewer needs,
+// and instant events stay time-ordered within their (pid, tid) track.
+// Complete ('X') spans are emitted at close time with ts = span start, so
+// only instants are emission-order monotone.
+TEST_P(ChromeTraceBothOrgs, DocumentParsesBackWithOrderedInstants) {
+  core::CompileOptions options;
+  options.organization = GetParam();
+  auto result = core::Compiler(options).compile(netapp::figure1_source());
+  ASSERT_TRUE(result->ok()) << result->diags().str();
+  auto simulator = result->make_simulator();
+  TraceBus bus;
+  ChromeTraceSink chrome;
+  bus.attach(&chrome);
+  simulator->set_trace(&bus);
+  ASSERT_TRUE(simulator->run_until_passes(1, 10000));
+  const std::uint64_t cycles = simulator->cycle();
+  bus.finish(cycles);
+
+  support::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(support::parse_json(chrome.str(), &doc, &error)) << error;
+  const support::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->elements.empty());
+
+  std::map<std::pair<int, int>, std::uint64_t> last_instant_ts;
+  for (const support::JsonValue& e : events->elements) {
+    ASSERT_TRUE(e.is_object());
+    const support::JsonValue* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_TRUE(ph->is_string());
+    const std::string& kind = ph->string_value;
+    EXPECT_TRUE(kind == "M" || kind == "i" || kind == "X") << kind;
+    const support::JsonValue* pid = e.find("pid");
+    ASSERT_NE(pid, nullptr);
+    ASSERT_TRUE(pid->is_number());
+    if (kind == "M") continue;  // metadata carries no timestamp
+    const support::JsonValue* tid = e.find("tid");
+    ASSERT_NE(tid, nullptr);
+    const support::JsonValue* ts = e.find("ts");
+    ASSERT_NE(ts, nullptr);
+    ASSERT_TRUE(ts->is_number());
+    const auto t = static_cast<std::uint64_t>(ts->number_value);
+    if (kind == "X") {
+      const support::JsonValue* dur = e.find("dur");
+      ASSERT_NE(dur, nullptr);
+      EXPECT_GE(dur->number_value, 1.0);
+      EXPECT_LE(t + static_cast<std::uint64_t>(dur->number_value), cycles);
+    } else {
+      EXPECT_LE(t, cycles);
+      const auto track = std::make_pair(
+          static_cast<int>(pid->number_value),
+          static_cast<int>(tid->number_value));
+      auto it = last_instant_ts.find(track);
+      if (it != last_instant_ts.end()) {
+        EXPECT_GE(t, it->second) << "instants out of order on a track";
+      }
+      last_instant_ts[track] = t;
+    }
+  }
+}
 
 TEST(ChromeTraceSinkTest, EmptyTraceIsStillValidJson) {
   ChromeTraceSink chrome;

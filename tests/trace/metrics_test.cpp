@@ -81,6 +81,103 @@ TEST(HistogramTest, PercentileCoversOverflowBucket) {
   EXPECT_EQ(h.percentile(5), 10u);  // first bucket, clamped below max
 }
 
+TEST(HistogramMerge, IdenticalLayoutsMatchRecomputedFromScratch) {
+  const std::vector<std::uint64_t> bounds = {10, 20, 50, 100};
+  Histogram shard1(bounds);
+  Histogram shard2(bounds);
+  Histogram scratch(bounds);  // every sample recorded directly
+  const std::vector<std::uint64_t> s1 = {3, 7, 15, 15, 42, 99, 240};
+  const std::vector<std::uint64_t> s2 = {1, 12, 30, 60, 60, 75, 500, 501};
+  for (std::uint64_t v : s1) {
+    shard1.record(v);
+    scratch.record(v);
+  }
+  for (std::uint64_t v : s2) {
+    shard2.record(v);
+    scratch.record(v);
+  }
+
+  shard1.merge(shard2);
+  EXPECT_EQ(shard1.count(), scratch.count());
+  EXPECT_EQ(shard1.min(), scratch.min());
+  EXPECT_EQ(shard1.max(), scratch.max());
+  EXPECT_EQ(shard1.sum(), scratch.sum());
+  EXPECT_DOUBLE_EQ(shard1.mean(), scratch.mean());
+  EXPECT_EQ(shard1.bucket_counts(), scratch.bucket_counts());
+  for (double p : {1.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    EXPECT_EQ(shard1.percentile(p), scratch.percentile(p)) << "p" << p;
+  }
+}
+
+TEST(HistogramMerge, EmptyOperandsAreIdentity) {
+  Histogram h({10, 20});
+  h.record(5);
+  h.record(15);
+  Histogram empty({10, 20});
+
+  Histogram copy = h;
+  copy.merge(empty);  // merging an empty histogram changes nothing
+  EXPECT_EQ(copy.bucket_counts(), h.bucket_counts());
+  EXPECT_EQ(copy.count(), h.count());
+  EXPECT_EQ(copy.min(), h.min());
+  EXPECT_EQ(copy.max(), h.max());
+  EXPECT_EQ(copy.sum(), h.sum());
+
+  empty.merge(h);  // merging into an empty histogram adopts the samples
+  EXPECT_EQ(empty.bucket_counts(), h.bucket_counts());
+  EXPECT_EQ(empty.min(), h.min());
+  EXPECT_EQ(empty.max(), h.max());
+  EXPECT_EQ(empty.percentile(50), h.percentile(50));
+}
+
+TEST(HistogramMerge, ForeignLayoutKeepsMomentsExact) {
+  Histogram coarse({100, 1000});
+  coarse.record(40);
+  coarse.record(800);
+  Histogram fine({10, 20, 50});
+  fine.record(5);
+  fine.record(15);
+  fine.record(45);
+  fine.record(2000);  // overflow in the fine layout
+
+  coarse.merge(fine);
+  // The moments fold exactly regardless of layout.
+  EXPECT_EQ(coarse.count(), 6u);
+  EXPECT_EQ(coarse.min(), 5u);
+  EXPECT_EQ(coarse.max(), 2000u);
+  EXPECT_EQ(coarse.sum(), 40u + 800u + 5u + 15u + 45u + 2000u);
+  // Re-binned placement: the three finite fine samples land < 100, the
+  // fine overflow (observed max 2000) lands in coarse's overflow bucket.
+  ASSERT_EQ(coarse.bucket_counts().size(), 3u);
+  EXPECT_EQ(coarse.bucket_counts()[0], 4u);
+  EXPECT_EQ(coarse.bucket_counts()[1], 1u);
+  EXPECT_EQ(coarse.bucket_counts()[2], 1u);
+}
+
+TEST(HistogramMerge, FromSnapshotRoundTripsTheRegistryRendering) {
+  Histogram h({10, 20, 50});
+  for (std::uint64_t v : {3u, 14u, 14u, 33u, 75u}) h.record(v);
+
+  Histogram back = Histogram::from_snapshot(h.bounds(), h.bucket_counts(),
+                                            h.min(), h.max(), h.sum());
+  EXPECT_EQ(back.count(), h.count());
+  EXPECT_EQ(back.min(), h.min());
+  EXPECT_EQ(back.max(), h.max());
+  EXPECT_EQ(back.sum(), h.sum());
+  EXPECT_EQ(back.bucket_counts(), h.bucket_counts());
+  for (double p : {10.0, 50.0, 95.0, 99.0}) {
+    EXPECT_EQ(back.percentile(p), h.percentile(p)) << "p" << p;
+  }
+  // A snapshot reconstruction merges like the original did.
+  Histogram other({10, 20, 50});
+  other.record(8);
+  Histogram merged_orig = h;
+  merged_orig.merge(other);
+  back.merge(other);
+  EXPECT_EQ(back.bucket_counts(), merged_orig.bucket_counts());
+  EXPECT_EQ(back.percentile(50), merged_orig.percentile(50));
+}
+
 TEST(MetricsRegistryTest, CountersAndLookup) {
   MetricsRegistry reg;
   reg.counter("a.b").add();
