@@ -1,6 +1,7 @@
 #include "core/compiler.h"
 
 #include <algorithm>
+#include <map>
 
 #include "analysis/depgraph.h"
 #include "hic/infer.h"
@@ -206,7 +207,11 @@ std::unique_ptr<CompileResult> Compiler::compile(
     r.bound_results_.push_back(std::move(br));
   }
 
-  if (options_.lint.enabled && options_.lint.only) {
+  // The lint-only early exit. With --nlint the flow continues: the netlist
+  // checks need generated controllers, so generation (and nlint) still run
+  // while verification stays skipped below.
+  const bool lint_only = options_.lint.enabled && options_.lint.only;
+  if (lint_only && !options_.nlint.enabled) {
     r.ok_ = true;
     return result;
   }
@@ -215,7 +220,7 @@ std::unique_ptr<CompileResult> Compiler::compile(
   // behavior under the selected organization (docs/VERIFICATION.md).
   // Refutations surface as diagnostics with verify-* check IDs; like lint
   // findings they do not flip ok() — the design still generates.
-  if (options_.verify.enabled) {
+  if (options_.verify.enabled && !lint_only) {
     perf::ScopedPhase phase(prof, "verify");
     verify::VerifyResult vr =
         verify::run_verify(r.program_, *r.sema_, r.map_, r.plans_,
@@ -272,6 +277,7 @@ std::unique_ptr<CompileResult> Compiler::compile(
       } else {
         memorg::EventDrivenConfig cfg =
             memorg::eventdriven_config_from(*gen_bram, *gen_plan);
+        report.slots = std::max(1, memorg::total_slots(cfg));
         m = &memorg::generate_eventdriven(r.design_, cfg, report.module_name);
       }
     }
@@ -294,6 +300,43 @@ std::unique_ptr<CompileResult> Compiler::compile(
     fpga::MapResult total = r.total_overhead();
     prof->set_count("netlist.luts", static_cast<std::uint64_t>(total.luts));
     prof->set_count("netlist.ffs", static_cast<std::uint64_t>(total.ffs));
+  }
+
+  // hic-nlint: structural checks over the controllers just generated, with
+  // each module's census expectations taken from its own BramReport (so
+  // the netlist is held to the same numbers the area model and any
+  // DepListHint pruning reported). Findings surface as nlint-* check IDs;
+  // like lint/verify/bound they do not flip ok() (hicc exits 7).
+  if (options_.nlint.enabled) {
+    perf::ScopedPhase phase(prof, "nlint");
+    std::map<std::string, nlint::Expectations> expectations;
+    for (const BramReport& br : r.bram_reports_) {
+      nlint::Expectations e;
+      e.org = options_.organization == sim::OrgKind::Arbitrated
+                  ? nlint::Expectations::Org::Arbitrated
+                  : nlint::Expectations::Org::EventDriven;
+      e.ffs = br.area.ffs;
+      e.dependencies = br.dependencies;
+      e.slots = br.slots;
+      e.consumers = br.consumers;
+      e.producers = br.producers;
+      expectations.emplace(br.module_name, e);
+    }
+    nlint::NlintResult nr =
+        nlint::run_design(r.design_, options_.nlint, {}, expectations);
+    r.nlint_errors_ += nlint::report_findings(nr, r.diags_);
+    if (prof != nullptr) {
+      int claims = 0;
+      std::uint64_t facts = 0;
+      for (const nlint::ModuleSummary& ms : nr.modules) {
+        claims += ms.claims_total;
+        facts += ms.facts_derived;
+      }
+      prof->set_count("nlint.modules", nr.modules.size());
+      prof->set_count("nlint.claims", static_cast<std::uint64_t>(claims));
+      prof->set_count("nlint.facts", facts);
+    }
+    r.nlint_result_ = std::move(nr);
   }
 
   r.ok_ = true;

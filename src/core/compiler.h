@@ -17,6 +17,7 @@
 #include "hic/sema.h"
 #include "memalloc/allocator.h"
 #include "memalloc/portplan.h"
+#include "nlint/nlint.h"
 #include "perf/profile.h"
 #include "rtl/netlist.h"
 #include "sim/system.h"
@@ -54,6 +55,15 @@ struct CompileOptions {
   /// Findings surface as bound-* diagnostics (hicc exits 6) without
   /// flipping ok().
   bound::BoundOptions bound;
+  /// hic-nlint: netlist-level structural checks over the generated
+  /// controllers (comb loops, driver conflicts, width consistency, one-hot
+  /// mutual-exclusion proofs for every recorded claim, reset coverage, and
+  /// the census cross-check against each BramReport; docs/ANALYSIS.md).
+  /// Runs after generation as a profiled phase; findings surface as
+  /// nlint-* diagnostics (hicc exits 7) without flipping ok(). Composes
+  /// with `lint.only`: when both are set, verification is still skipped
+  /// but the controllers are generated so the netlist checks can run.
+  nlint::NlintOptions nlint;
   /// Name stamped onto diagnostics (and json output); typically the path
   /// the driver read the source from.
   std::string source_name;
@@ -72,6 +82,9 @@ struct BramReport {
   int consumers = 0;
   int producers = 0;
   int dependencies = 0;
+  /// Event slots the controller sequences (event-driven organization; 0
+  /// for arbitrated). Cross-checked against the netlist by hic-nlint.
+  int slots = 0;
   /// Dead entries / pseudo-ports removed by a hic-bound sizing hint
   /// before generation (0 unless bound.apply_sizing pruned something).
   int pruned_deps = 0;
@@ -136,6 +149,16 @@ class CompileResult {
   [[nodiscard]] std::size_t bound_error_count() const {
     return bound_errors_;
   }
+  /// hic-nlint result (empty unless options.nlint.enabled; covers every
+  /// generated controller module). Like the other analyses, netlist
+  /// findings do not flip ok(); drivers should fail on them (hicc exits
+  /// 7).
+  [[nodiscard]] const nlint::NlintResult& nlint_result() const {
+    return nlint_result_;
+  }
+  [[nodiscard]] std::size_t nlint_error_count() const {
+    return nlint_errors_;
+  }
   [[nodiscard]] const CompileOptions& options() const { return options_; }
 
   /// Generated RTL of every controller, as Verilog-2001 text.
@@ -174,6 +197,8 @@ class CompileResult {
   std::size_t verify_errors_ = 0;
   std::vector<bound::BoundResult> bound_results_;
   std::size_t bound_errors_ = 0;
+  nlint::NlintResult nlint_result_;
+  std::size_t nlint_errors_ = 0;
 };
 
 class Compiler {

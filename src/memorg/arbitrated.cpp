@@ -285,6 +285,15 @@ rtl::Module& generate_arbitrated(rtl::Design& design,
   if (cfg.enable_port_b) {
     RtlExprPtr quiet = ebin(RtlOp::And, enot(any_c_req->clone()),
                             enot(any_d_req->clone()));
+    // Also require the registered-eligibility arbiters to be silent. Under
+    // the request-hold protocol this is implied (eligibility is a delayed
+    // copy of a held request), but stating it structurally makes the
+    // B-vs-C/D exclusivity a property of the netlist rather than of client
+    // behavior — one-hot provable, and safe against clients that drop a
+    // request early while a stale eligibility bit is still arbitrating.
+    quiet = ebin(RtlOp::And, std::move(quiet),
+                 ebin(RtlOp::And, enot(eref(c_arb.any_grant, 1)),
+                      enot(eref(any_d, 1))));
     m.assign(b_grant,
              ebin(RtlOp::And, eref(b_en, 1), std::move(quiet)));
   }

@@ -1,0 +1,150 @@
+#include "nlint/seeded.h"
+
+#include <stdexcept>
+
+#include "rtl/builder.h"
+
+namespace hicsync::nlint {
+namespace {
+
+using rtl::ebin;
+using rtl::econst;
+using rtl::emux;
+using rtl::enot;
+using rtl::eref;
+using rtl::RtlExprPtr;
+using rtl::RtlOp;
+
+void build_comb_loop(rtl::Module& m) {
+  const int c = m.add_input("c", 1);
+  const int d = m.add_input("d", 1);
+  const int a = m.add_wire("a", 1);
+  const int b = m.add_wire("b", 1);
+  // a and b feed each other with no register in between.
+  m.assign(a, ebin(RtlOp::And, eref(b, 1), eref(c, 1)));
+  m.assign(b, ebin(RtlOp::Or, eref(a, 1), eref(d, 1)));
+  const int out = m.add_output("loop_out", 1);
+  m.assign(out, eref(a, 1));
+}
+
+void build_double_driven_grant(rtl::Module& m) {
+  const int req0 = m.add_input("req0", 1);
+  const int req1 = m.add_input("req1", 1);
+  // Two arbitration fragments both claim ownership of the same grant wire.
+  const int grant = m.add_wire("grant", 1);
+  m.assign(grant, eref(req0, 1));
+  m.assign(grant, ebin(RtlOp::And, eref(req1, 1), enot(eref(req0, 1))));
+  const int out = m.add_output("granted", 1);
+  m.assign(out, eref(grant, 1));
+}
+
+void build_overlapping_onehot(rtl::Module& m) {
+  const int req0 = m.add_input("req0", 1);
+  const int req1 = m.add_input("req1", 1);
+  const int s0 = m.add_wire("s0", 1);
+  const int s1 = m.add_wire("s1", 1);
+  // s0 and s1 are both high when req0 and req1 are — the mux merges arms.
+  m.assign(s0, eref(req0, 1));
+  m.assign(s1, ebin(RtlOp::And, eref(req0, 1), eref(req1, 1)));
+  const int v0 = m.add_input("v0", 8);
+  const int v1 = m.add_input("v1", 8);
+  std::vector<RtlExprPtr> values;
+  values.push_back(eref(v0, 8));
+  values.push_back(eref(v1, 8));
+  const int out = m.add_output("out", 8);
+  m.assign(out, rtl::build_onehot_mux(m, {s0, s1}, std::move(values), 8));
+}
+
+void build_width_truncating_mux_arm(rtl::Module& m) {
+  const int sel = m.add_input("sel", 1);
+  const int narrow = m.add_input("narrow", 8);
+  const int wide = m.add_input("wide", 16);
+  const int out = m.add_output("out", 16);
+  // The 8-bit arm is silently zero-extended to the 16-bit mux width.
+  m.assign(out, emux(eref(sel, 1), eref(narrow, 8), eref(wide, 16)));
+}
+
+void build_undriven_net(rtl::Module& m) {
+  const int a = m.add_input("a", 1);
+  const int ghost = m.add_wire("ghost", 1);
+  const int out = m.add_output("out", 1);
+  m.assign(out, ebin(RtlOp::And, eref(a, 1), eref(ghost, 1)));
+}
+
+void build_no_reset_feedback(rtl::Module& m) {
+  const int en = m.add_input("en", 1);
+  const int r = m.add_reg("r", 8);
+  // r's next value depends on r itself, but there is no reset arm, so the
+  // power-on value is whatever the fabric wakes up with.
+  m.seq(r,
+        emux(eref(en, 1),
+             ebin(RtlOp::Add, eref(r, 8), econst(1, 8)), eref(r, 8)),
+        nullptr, 0, /*has_reset=*/false);
+  const int out = m.add_output("count", 8);
+  m.assign(out, eref(r, 8));
+}
+
+}  // namespace
+
+const std::vector<SeededBug>& seeded_bugs() {
+  static const std::vector<SeededBug> bugs = {
+      {"comb-loop", "nlint-comb-loop",
+       "two continuous assigns feed each other with no register in between"},
+      {"double-driven-grant", "nlint-multiple-drivers",
+       "two arbitration fragments both continuously drive one grant wire"},
+      {"overlapping-onehot", "nlint-onehot-violation",
+       "build_onehot_mux selects that are simultaneously high when both "
+       "requests arrive"},
+      {"width-truncating-mux-arm", "nlint-width-mismatch",
+       "an 8-bit mux arm against a 16-bit arm, silently zero-extended"},
+      {"undriven-net", "nlint-undriven-net",
+       "a wire read by the output cone that nothing ever drives"},
+      {"no-reset-feedback", "nlint-uninitialized-feedback",
+       "a counter register on a feedback path with no reset value"},
+  };
+  return bugs;
+}
+
+const SeededBug* find_seeded_bug(std::string_view name) {
+  for (const SeededBug& b : seeded_bugs()) {
+    if (name == b.name) return &b;
+  }
+  return nullptr;
+}
+
+rtl::Module& build_seeded_bug(rtl::Design& design, std::string_view name) {
+  if (name == "comb-loop") {
+    rtl::Module& m = design.add_module("seeded_comb_loop");
+    build_comb_loop(m);
+    return m;
+  }
+  if (name == "double-driven-grant") {
+    rtl::Module& m = design.add_module("seeded_double_driven_grant");
+    build_double_driven_grant(m);
+    return m;
+  }
+  if (name == "overlapping-onehot") {
+    rtl::Module& m = design.add_module("seeded_overlapping_onehot");
+    build_overlapping_onehot(m);
+    return m;
+  }
+  if (name == "width-truncating-mux-arm") {
+    rtl::Module& m = design.add_module("seeded_width_truncating_mux_arm");
+    build_width_truncating_mux_arm(m);
+    return m;
+  }
+  if (name == "undriven-net") {
+    rtl::Module& m = design.add_module("seeded_undriven_net");
+    build_undriven_net(m);
+    return m;
+  }
+  if (name == "no-reset-feedback") {
+    rtl::Module& m = design.add_module("seeded_no_reset_feedback");
+    build_no_reset_feedback(m);
+    return m;
+  }
+  throw std::invalid_argument("unknown seeded bug '" + std::string(name) +
+                              "'");
+}
+
+}  // namespace hicsync::nlint

@@ -1,0 +1,31 @@
+// Seeded netlist-bug fixtures: small hand-built modules, each carrying one
+// deliberately injected structural defect, paired with the nlint-* check
+// that must flag it. They pin the analyzer's verdicts (goldens live in
+// tests/nlint/seeded_test.cpp and the CI nlint job) and double as living
+// documentation of what each check catches. `hic-nlint --seed-bug <name>`
+// runs the analyzer over one of them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rtl/netlist.h"
+
+namespace hicsync::nlint {
+
+struct SeededBug {
+  const char* name;        // CLI-facing fixture name
+  const char* check_id;    // the nlint-* check that must fire
+  const char* description; // what the injected defect is
+};
+
+/// Every fixture, in a stable order.
+[[nodiscard]] const std::vector<SeededBug>& seeded_bugs();
+[[nodiscard]] const SeededBug* find_seeded_bug(std::string_view name);
+
+/// Builds the named fixture as a fresh module of `design` and returns it.
+/// Throws std::invalid_argument for an unknown name.
+rtl::Module& build_seeded_bug(rtl::Design& design, std::string_view name);
+
+}  // namespace hicsync::nlint

@@ -40,6 +40,7 @@ std::vector<int> build_decoder(Module& m, int sel_net, int n,
                         econst(static_cast<std::uint64_t>(i), w)));
     out.push_back(wire);
   }
+  m.claim_onehot(out, "decoder '" + prefix + "'");
   return out;
 }
 
@@ -136,6 +137,7 @@ ArbiterNets build_round_robin_arbiter(Module& m,
                          build_onehot_mux(m, nets.grant, std::move(succ), pw),
                          eref(nets.pointer, pw));
   m.seq(nets.pointer, std::move(next), /*enable=*/nullptr, /*reset=*/0);
+  m.claim_onehot(nets.grant, "round-robin arbiter '" + prefix + "'");
   return nets;
 }
 
@@ -158,6 +160,7 @@ std::vector<int> build_fixed_priority(Module& m,
                      : ebin(RtlOp::And, std::move(none_above),
                             std::move(not_this));
   }
+  m.claim_onehot(grants, "fixed-priority grant '" + prefix + "'");
   return grants;
 }
 
@@ -181,7 +184,7 @@ RtlExprPtr eor_tree(std::vector<RtlExprPtr> terms, int width) {
 
 RtlExprPtr build_onehot_mux(Module& m, const std::vector<int>& selects,
                             std::vector<RtlExprPtr> values, int width) {
-  (void)m;
+  m.claim_onehot(selects, "one-hot mux");
   std::vector<RtlExprPtr> masked;
   for (std::size_t i = 0; i < selects.size() && i < values.size(); ++i) {
     // mask = select ? ~0 : 0, then AND with the value: two-input bit gates

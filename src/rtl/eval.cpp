@@ -12,9 +12,62 @@ void collect_refs(const RtlExpr& e, std::set<int>& refs) {
   for (const auto& a : e.args) collect_refs(*a, refs);
 }
 
+/// Strict-mode scan: every net read anywhere must have some driver.
+void check_undriven_reads(const Module& module) {
+  std::vector<bool> driven(module.nets().size(), false);
+  for (const Port& p : module.ports()) {
+    if (p.dir == PortDir::Input) driven[static_cast<std::size_t>(p.net)] = true;
+  }
+  for (const ContAssign& a : module.assigns()) {
+    driven[static_cast<std::size_t>(a.target)] = true;
+  }
+  for (const SeqAssign& s : module.seqs()) {
+    driven[static_cast<std::size_t>(s.target)] = true;
+  }
+  for (const Memory& m : module.memories()) {
+    for (const MemoryPort& p : m.ports) {
+      if (p.read_data >= 0) driven[static_cast<std::size_t>(p.read_data)] = true;
+    }
+  }
+  auto check = [&](const RtlExpr* e, const std::string& site) {
+    if (e == nullptr) return;
+    std::set<int> refs;
+    collect_refs(*e, refs);
+    for (int r : refs) {
+      if (!driven[static_cast<std::size_t>(r)]) {
+        throw std::runtime_error("ModuleSim: read of undriven net '" +
+                                 module.net(r).name + "' in " + site + " (" +
+                                 module.name() + ", strict mode)");
+      }
+    }
+  };
+  for (const ContAssign& a : module.assigns()) {
+    check(a.value.get(), "continuous assign to '" + module.net(a.target).name +
+                             "'");
+  }
+  for (const SeqAssign& s : module.seqs()) {
+    check(s.value.get(), "next-state of '" + module.net(s.target).name + "'");
+    check(s.enable.get(), "enable of '" + module.net(s.target).name + "'");
+  }
+  for (const Memory& m : module.memories()) {
+    for (std::size_t i = 0; i < m.ports.size(); ++i) {
+      const MemoryPort& p = m.ports[i];
+      const std::string where =
+          "memory '" + m.name + "' port " + std::to_string(i);
+      check(p.addr.get(), "address of " + where);
+      check(p.write_enable.get(), "write enable of " + where);
+      check(p.write_data.get(), "write data of " + where);
+    }
+  }
+}
+
 }  // namespace
 
-ModuleSim::ModuleSim(const Module& module) : module_(module) {
+ModuleSim::ModuleSim(const Module& module) : ModuleSim(module, SimOptions{}) {}
+
+ModuleSim::ModuleSim(const Module& module, const SimOptions& options)
+    : module_(module) {
+  if (options.strict_undriven) check_undriven_reads(module);
   if (!module.instances().empty()) {
     throw std::runtime_error("ModuleSim: instances are not supported (" +
                              module.name() + ")");

@@ -18,11 +18,23 @@
 
 namespace hicsync::rtl {
 
+struct SimOptions {
+  /// When set, construction scans every expression site (continuous assign
+  /// values, sequential next-state/enable expressions, memory port address/
+  /// write-enable/write-data) for references to nets that nothing drives —
+  /// not an input port, not a continuous or sequential target, not a memory
+  /// read port. Such reads silently evaluate as 0 in the default mode,
+  /// masking exactly the wiring bugs hic-nlint reports statically; strict
+  /// mode throws std::runtime_error naming the net and the reading site.
+  bool strict_undriven = false;
+};
+
 class ModuleSim {
  public:
   /// Builds the evaluation order. Throws std::runtime_error on
   /// combinational cycles or unsupported features (instances).
   explicit ModuleSim(const Module& module);
+  ModuleSim(const Module& module, const SimOptions& options);
 
   /// Sets an input port value (masked to the port width).
   void set_input(const std::string& name, std::uint64_t value);

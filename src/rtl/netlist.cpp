@@ -195,6 +195,20 @@ Memory& Module::add_memory(const std::string& name, int width, int depth) {
   return memories_.back();
 }
 
+void Module::claim_onehot(std::vector<int> nets, std::string origin) {
+  if (nets.size() < 2) return;
+  std::vector<int> sorted = nets;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  if (sorted.size() < 2) return;
+  for (const OneHotClaim& c : onehot_claims_) {
+    std::vector<int> existing = c.nets;
+    std::sort(existing.begin(), existing.end());
+    if (existing == sorted) return;
+  }
+  onehot_claims_.push_back(OneHotClaim{std::move(nets), std::move(origin)});
+}
+
 Instance& Module::add_instance(const std::string& name,
                                const std::string& module) {
   Instance inst;

@@ -117,6 +117,14 @@ struct Memory {
   std::vector<MemoryPort> ports;
 };
 
+/// Structural claim recorded by a builder primitive: the listed 1-bit nets
+/// are intended to be mutually exclusive (at most one high per cycle).
+/// build_onehot_mux and friends *assume* this; hic-nlint discharges it.
+struct OneHotClaim {
+  std::vector<int> nets;
+  std::string origin;  // e.g. "round-robin arbiter 'c_arb'"
+};
+
 /// Instantiation of another module.
 struct Instance {
   std::string name;
@@ -167,6 +175,14 @@ class Module {
     return instances_;
   }
 
+  /// Records a mutual-exclusion claim over 1-bit nets (deduplicated on the
+  /// net set; claims with fewer than two nets are trivially true and
+  /// dropped). Builder primitives call this; hic-nlint proves the claims.
+  void claim_onehot(std::vector<int> nets, std::string origin);
+  [[nodiscard]] const std::vector<OneHotClaim>& onehot_claims() const {
+    return onehot_claims_;
+  }
+
   /// Total register bits (flip-flops) directly in this module.
   [[nodiscard]] int flipflop_bits() const;
 
@@ -185,6 +201,7 @@ class Module {
   std::vector<SeqAssign> seqs_;
   std::vector<Memory> memories_;
   std::vector<Instance> instances_;
+  std::vector<OneHotClaim> onehot_claims_;
   int clk_ = -1;
   int rst_ = -1;
 };

@@ -73,6 +73,17 @@
 //   --no-bound-sizing               report bounds but leave the generated
 //                                   dependency lists untouched
 //
+// Netlist checks (hic-nlint; see docs/ANALYSIS.md — the standalone
+// hic-nlint tool adds --check selection, --explain proof narration, --json
+// and the seeded bug fixtures):
+//   --nlint                         structural checks over the generated
+//                                   controllers: comb loops, driver
+//                                   conflicts, width consistency, one-hot
+//                                   mutual-exclusion proofs, reset coverage,
+//                                   census vs the area model. Composes with
+//                                   --lint-only (the controllers are still
+//                                   generated so the netlist pass can run)
+//
 // Exit status:
 //   0  success
 //   1  compile error (parse/sema/analysis reported errors)
@@ -81,6 +92,8 @@
 //   4  lint findings at error severity (including -W/--Werror promotions)
 //   5  verify refuted a property (reported with a verify-* check ID)
 //   6  a hic-bound bound was exceeded (reported with a bound-* check ID)
+//   7  hic-nlint found a structural defect (reported with an nlint-* check
+//      ID)
 
 #include <cstdio>
 #include <cstdlib>
@@ -125,10 +138,11 @@ constexpr const char* kUsageBody =
     "  -W<check> | -Wno-<check> | --Werror\n"
     "  --verify [--verify-max-states <n>]\n"
     "  --bound [--no-bound-sizing]\n"
+    "  --nlint\n"
     "  --diag-format text|json\n"
     // NOLINTNEXTLINE(whitespace/line_length) — kept on one line so the
     // usage_docs_in_sync test can grep the whole table verbatim.
-    "exit codes: 0 ok, 1 compile error, 2 usage, 3 sim timeout, 4 lint errors, 5 verify refuted, 6 bound exceeded\n";
+    "exit codes: 0 ok, 1 compile error, 2 usage, 3 sim timeout, 4 lint errors, 5 verify refuted, 6 bound exceeded, 7 nlint findings\n";
 
 void usage(const char* argv0) {
   std::fprintf(stderr, "usage: %s [options] <file.hic | ->\n%s", argv0,
@@ -253,6 +267,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-bound-sizing") {
       options.bound.enabled = true;
       options.bound.apply_sizing = false;
+    } else if (arg == "--nlint") {
+      options.nlint.enabled = true;
     } else if (arg == "--lint") {
       options.lint.enabled = true;
     } else if (arg == "--lint-only") {
@@ -389,11 +405,15 @@ int main(int argc, char** argv) {
     for (const auto& br : result->bound_results()) {
       std::printf("%s", br.text().c_str());
     }
+    if (options.nlint.enabled) {
+      std::printf("%s", result->nlint_result().text().c_str());
+    }
   }
 
   if (result->lint_error_count() > 0) return 4;
   if (result->verify_error_count() > 0) return 5;
   if (result->bound_error_count() > 0) return 6;
+  if (result->nlint_error_count() > 0) return 7;
   if (options.lint.only) return 0;
 
   if (!verilog_out.empty()) {

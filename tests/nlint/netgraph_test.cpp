@@ -1,0 +1,133 @@
+// NetGraph: the shared structural index — driver/reader inventory,
+// combinational-cycle detection with ordered witnesses, constant folding
+// and cone-support queries.
+#include <gtest/gtest.h>
+
+#include "nlint/netgraph.h"
+
+namespace hicsync::nlint {
+namespace {
+
+using rtl::ebin;
+using rtl::econst;
+using rtl::emux;
+using rtl::enot;
+using rtl::eref;
+using rtl::Module;
+using rtl::RtlOp;
+
+TEST(NetGraphTest, DriverAndReaderInventory) {
+  Module m("t");
+  const int a = m.add_input("a", 1);
+  const int b = m.add_wire("b", 1);
+  const int q = m.add_reg("q", 1);
+  const int out = m.add_output("out", 1);
+  m.assign(b, eref(a, 1));
+  m.seq(q, eref(b, 1), eref(a, 1));
+  m.assign(out, ebin(RtlOp::And, eref(q, 1), eref(b, 1)));
+
+  NetGraph g(m);
+  EXPECT_TRUE(g.info(a).is_input);
+  EXPECT_EQ(g.info(a).reads, 2);  // b's driver and q's enable
+  EXPECT_EQ(g.info(b).cont_drivers.size(), 1u);
+  EXPECT_EQ(g.info(b).reads, 2);  // q's next-state and out's driver
+  EXPECT_EQ(g.info(q).seq_drivers.size(), 1u);
+  EXPECT_TRUE(g.info(out).is_output);
+  EXPECT_TRUE(g.driven(b));
+  EXPECT_TRUE(g.driven(q));
+  EXPECT_NE(g.comb_driver(b), nullptr);
+  EXPECT_EQ(g.comb_driver(q), nullptr);
+}
+
+TEST(NetGraphTest, UndrivenWireReported) {
+  Module m("t");
+  const int ghost = m.add_wire("ghost", 1);
+  const int out = m.add_output("out", 1);
+  m.assign(out, eref(ghost, 1));
+  NetGraph g(m);
+  EXPECT_FALSE(g.driven(ghost));
+  EXPECT_EQ(g.info(ghost).reads, 1);
+}
+
+TEST(NetGraphTest, CombCycleWitnessOrdered) {
+  Module m("t");
+  const int c = m.add_input("c", 1);
+  const int a = m.add_wire("a", 1);
+  const int b = m.add_wire("b", 1);
+  m.assign(a, ebin(RtlOp::And, eref(b, 1), eref(c, 1)));
+  m.assign(b, eref(a, 1));
+  NetGraph g(m);
+  ASSERT_EQ(g.comb_cycles().size(), 1u);
+  const std::vector<int>& cycle = g.comb_cycles()[0];
+  ASSERT_EQ(cycle.size(), 2u);
+  // The witness walks real edges: each net's driver reads its predecessor.
+  EXPECT_TRUE((cycle[0] == a && cycle[1] == b) ||
+              (cycle[0] == b && cycle[1] == a));
+  EXPECT_TRUE(g.on_comb_cycle(a));
+  EXPECT_TRUE(g.on_comb_cycle(b));
+  EXPECT_FALSE(g.on_comb_cycle(c));
+}
+
+TEST(NetGraphTest, SelfEdgeIsACycle) {
+  Module m("t");
+  const int a = m.add_wire("a", 1);
+  m.assign(a, enot(eref(a, 1)));  // a classic ring-oscillator bit
+  NetGraph g(m);
+  ASSERT_EQ(g.comb_cycles().size(), 1u);
+  EXPECT_EQ(g.comb_cycles()[0], std::vector<int>{a});
+}
+
+TEST(NetGraphTest, RegisterBreaksTheLoop) {
+  Module m("t");
+  const int q = m.add_reg("q", 1);
+  const int a = m.add_wire("a", 1);
+  m.assign(a, enot(eref(q, 1)));
+  m.seq(q, eref(a, 1));
+  NetGraph g(m);
+  EXPECT_TRUE(g.comb_cycles().empty());
+}
+
+TEST(NetGraphTest, ConstantFolding) {
+  Module m("t");
+  const int x = m.add_input("x", 4);
+  const int zero = m.add_wire("zero", 4);
+  const int gated = m.add_wire("gated", 4);
+  const int free = m.add_wire("free", 4);
+  m.assign(zero, econst(0, 4));
+  // x & 0 folds even though x is free (short-circuit through And).
+  m.assign(gated, ebin(RtlOp::And, eref(x, 4), eref(zero, 4)));
+  m.assign(free, ebin(RtlOp::Or, eref(x, 4), eref(zero, 4)));
+  NetGraph g(m);
+  EXPECT_EQ(g.const_value(zero), std::uint64_t{0});
+  EXPECT_EQ(g.const_value(gated), std::uint64_t{0});
+  EXPECT_FALSE(g.const_value(free).has_value());
+  EXPECT_FALSE(g.const_value(x).has_value());
+}
+
+TEST(NetGraphTest, MuxWithEqualConstArmsFolds) {
+  Module m("t");
+  const int sel = m.add_input("sel", 1);
+  const int w = m.add_wire("w", 8);
+  m.assign(w, emux(eref(sel, 1), econst(7, 8), econst(7, 8)));
+  NetGraph g(m);
+  EXPECT_EQ(g.const_value(w), std::uint64_t{7});
+}
+
+TEST(NetGraphTest, ConeSupportFindsTerminals) {
+  Module m("t");
+  const int a = m.add_input("a", 1);
+  const int q = m.add_reg("q", 1);
+  const int mid = m.add_wire("mid", 1);
+  const int top = m.add_wire("top", 1);
+  m.seq(q, eref(a, 1));
+  m.assign(mid, ebin(RtlOp::And, eref(a, 1), eref(q, 1)));
+  m.assign(top, enot(eref(mid, 1)));
+  NetGraph g(m);
+  // The cone of `top` bottoms out at the input and the register — the
+  // wire `mid` is expanded through, the register is not.
+  std::vector<int> expected = {a, q};
+  EXPECT_EQ(g.cone_support({top}), expected);
+}
+
+}  // namespace
+}  // namespace hicsync::nlint

@@ -1,0 +1,149 @@
+// The bounded one-hot prover on hand-built cones: implication proofs,
+// enumeration fallback (both outcomes), case splitting, and the
+// inconclusive boundary when a pair's support outgrows the budget.
+#include <gtest/gtest.h>
+
+#include "nlint/netgraph.h"
+#include "nlint/onehot.h"
+
+namespace hicsync::nlint {
+namespace {
+
+using rtl::ebin;
+using rtl::econst;
+using rtl::emux;
+using rtl::enot;
+using rtl::eref;
+using rtl::Module;
+using rtl::RtlOp;
+
+TEST(OneHotTest, DecoderProvedByImplication) {
+  Module m("t");
+  const int sel = m.add_input("sel", 2);
+  std::vector<int> outs;
+  for (int i = 0; i < 4; ++i) {
+    const int o = m.add_wire("dec" + std::to_string(i), 1);
+    m.assign(o, ebin(RtlOp::Eq, eref(sel, 2), econst(
+                         static_cast<std::uint64_t>(i), 2)));
+    outs.push_back(o);
+  }
+  NetGraph g(m);
+  OneHotOutcome r = prove_onehot(g, outs);
+  EXPECT_EQ(r.status, OneHotStatus::Proved);
+  EXPECT_EQ(r.pairs_total, 6);
+  EXPECT_EQ(r.pairs_by_implication, 6);
+  EXPECT_EQ(r.pairs_by_enumeration, 0);
+}
+
+TEST(OneHotTest, ComplementaryGatesProvedByImplication) {
+  Module m("t");
+  const int c = m.add_input("c", 1);
+  const int a = m.add_input("a", 1);
+  const int g0 = m.add_wire("g0", 1);
+  const int g1 = m.add_wire("g1", 1);
+  m.assign(g0, ebin(RtlOp::And, eref(c, 1), eref(a, 1)));
+  m.assign(g1, ebin(RtlOp::And, enot(eref(c, 1)), eref(a, 1)));
+  NetGraph g(m);
+  OneHotOutcome r = prove_onehot(g, {g0, g1});
+  EXPECT_EQ(r.status, OneHotStatus::Proved);
+  EXPECT_EQ(r.pairs_by_implication, 1);
+}
+
+TEST(OneHotTest, DisjointRangesProvedByEnumeration) {
+  Module m("t");
+  const int x = m.add_input("x", 3);
+  const int lo = m.add_wire("lo", 1);
+  const int hit = m.add_wire("hit", 1);
+  // Lt derives no backward facts, so implication alone cannot separate
+  // these; the 3-bit support falls inside the enumeration budget.
+  m.assign(lo, ebin(RtlOp::Lt, eref(x, 3), econst(2, 3)));
+  m.assign(hit, ebin(RtlOp::Eq, eref(x, 3), econst(5, 3)));
+  NetGraph g(m);
+  OneHotOutcome r = prove_onehot(g, {lo, hit});
+  EXPECT_EQ(r.status, OneHotStatus::Proved);
+  EXPECT_EQ(r.pairs_by_enumeration, 1);
+}
+
+TEST(OneHotTest, OverlapFoundByEnumerationWithWitness) {
+  Module m("t");
+  const int a = m.add_input("a", 1);
+  const int b = m.add_input("b", 1);
+  const int s0 = m.add_wire("s0", 1);
+  const int s1 = m.add_wire("s1", 1);
+  m.assign(s0, eref(a, 1));
+  m.assign(s1, ebin(RtlOp::And, eref(a, 1), eref(b, 1)));
+  NetGraph g(m);
+  OneHotOutcome r = prove_onehot(g, {s0, s1});
+  ASSERT_EQ(r.status, OneHotStatus::Violation);
+  EXPECT_EQ(r.net_a, s0);
+  EXPECT_EQ(r.net_b, s1);
+  // The witness is a concrete assignment of the cone's free inputs.
+  EXPECT_NE(r.witness.find("a=1"), std::string::npos) << r.witness;
+  EXPECT_NE(r.witness.find("b=1"), std::string::npos) << r.witness;
+}
+
+TEST(OneHotTest, MuxSelectCaseSplitDischargesBothBranches) {
+  Module m("t");
+  const int mode = m.add_input("mode", 1);
+  const int r0 = m.add_input("r0", 1);
+  const int r1 = m.add_input("r1", 1);
+  // grant0 = mode ? r0 : r0&!r1;  grant1 = mode ? !r0&r1 : r1&!r0.
+  // Under either value of `mode` the pair is exclusive, but no single
+  // implication pass covers both arms — the prover must split on `mode`.
+  const int g0 = m.add_wire("g0", 1);
+  const int g1 = m.add_wire("g1", 1);
+  m.assign(g0, emux(eref(mode, 1), eref(r0, 1),
+                    ebin(RtlOp::And, eref(r0, 1), enot(eref(r1, 1)))));
+  m.assign(g1, emux(eref(mode, 1),
+                    ebin(RtlOp::And, enot(eref(r0, 1)), eref(r1, 1)),
+                    ebin(RtlOp::And, eref(r1, 1), enot(eref(r0, 1)))));
+  NetGraph g(m);
+  OneHotOutcome r = prove_onehot(g, {g0, g1});
+  EXPECT_EQ(r.status, OneHotStatus::Proved);
+}
+
+TEST(OneHotTest, DuplicateMemberIsAnImmediateViolation) {
+  Module m("t");
+  const int a = m.add_input("a", 1);
+  const int s = m.add_wire("s", 1);
+  m.assign(s, eref(a, 1));
+  NetGraph g(m);
+  OneHotOutcome r = prove_onehot(g, {s, s});
+  ASSERT_EQ(r.status, OneHotStatus::Violation);
+  EXPECT_NE(r.witness.find("listed twice"), std::string::npos) << r.witness;
+}
+
+TEST(OneHotTest, WideFreeSupportIsInconclusive) {
+  Module m("t");
+  const int x = m.add_input("x", 16);
+  const int y = m.add_input("y", 16);
+  const int s0 = m.add_wire("s0", 1);
+  const int s1 = m.add_wire("s1", 1);
+  // ReduceOr yields no backward facts and the pair's support is 32 free
+  // bits — beyond the default 14-bit enumeration budget.
+  m.assign(s0, ebin(RtlOp::Eq, eref(x, 16), eref(y, 16)));
+  m.assign(s1, ebin(RtlOp::Ne, eref(x, 16), econst(3, 16)));
+  NetGraph g(m);
+  OneHotOutcome r = prove_onehot(g, {s0, s1});
+  EXPECT_EQ(r.status, OneHotStatus::Inconclusive);
+}
+
+TEST(OneHotTest, RaisedEnumBudgetSettlesIt) {
+  Module m("t");
+  const int x = m.add_input("x", 8);
+  const int s0 = m.add_wire("s0", 1);
+  const int s1 = m.add_wire("s1", 1);
+  m.assign(s0, ebin(RtlOp::Lt, eref(x, 8), econst(16, 8)));
+  m.assign(s1, ebin(RtlOp::Lt, econst(200, 8), eref(x, 8)));
+  NetGraph g(m);
+  OneHotOptions tight;
+  tight.max_enum_bits = 4;
+  EXPECT_EQ(prove_onehot(g, {s0, s1}, tight).status,
+            OneHotStatus::Inconclusive);
+  OneHotOptions wide;
+  wide.max_enum_bits = 8;
+  EXPECT_EQ(prove_onehot(g, {s0, s1}, wide).status, OneHotStatus::Proved);
+}
+
+}  // namespace
+}  // namespace hicsync::nlint

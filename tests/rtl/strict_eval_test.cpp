@@ -1,0 +1,137 @@
+// SimOptions::strict_undriven: construction must reject reads of nets
+// nothing drives, naming the net and the reading site — one test per
+// expression site the scan covers. The default mode stays lenient (such
+// reads evaluate as 0), which the last test pins down.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "rtl/eval.h"
+#include "rtl/netlist.h"
+
+namespace hicsync::rtl {
+namespace {
+
+SimOptions strict() {
+  SimOptions o;
+  o.strict_undriven = true;
+  return o;
+}
+
+std::string strict_error(const Module& m) {
+  try {
+    ModuleSim sim(m, strict());
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(StrictEvalTest, CleanModuleConstructs) {
+  Module m("clean");
+  const int a = m.add_input("a", 4);
+  const int q = m.add_reg("q", 4);
+  m.seq(q, eref(a, 4));
+  const int out = m.add_output("out", 4);
+  m.assign(out, eref(q, 4));
+  EXPECT_NO_THROW(ModuleSim sim(m, strict()));
+}
+
+TEST(StrictEvalTest, ContAssignValueRead) {
+  Module m("t");
+  const int ghost = m.add_wire("ghost", 1);
+  const int out = m.add_output("out", 1);
+  m.assign(out, eref(ghost, 1));
+  const std::string err = strict_error(m);
+  EXPECT_NE(err.find("'ghost'"), std::string::npos) << err;
+  EXPECT_NE(err.find("continuous assign to 'out'"), std::string::npos) << err;
+}
+
+TEST(StrictEvalTest, SeqValueRead) {
+  Module m("t");
+  const int ghost = m.add_wire("ghost", 8);
+  const int q = m.add_reg("q", 8);
+  m.seq(q, eref(ghost, 8));
+  const std::string err = strict_error(m);
+  EXPECT_NE(err.find("'ghost'"), std::string::npos) << err;
+  EXPECT_NE(err.find("next-state of 'q'"), std::string::npos) << err;
+}
+
+TEST(StrictEvalTest, SeqEnableRead) {
+  Module m("t");
+  const int a = m.add_input("a", 8);
+  const int ghost = m.add_wire("ghost", 1);
+  const int q = m.add_reg("q", 8);
+  m.seq(q, eref(a, 8), eref(ghost, 1));
+  const std::string err = strict_error(m);
+  EXPECT_NE(err.find("'ghost'"), std::string::npos) << err;
+  EXPECT_NE(err.find("enable of 'q'"), std::string::npos) << err;
+}
+
+TEST(StrictEvalTest, MemoryAddressRead) {
+  Module m("t");
+  const int ghost = m.add_wire("ghost", 4);
+  const int rd = m.add_wire("rd", 8);
+  Memory& mem = m.add_memory("buf", 8, 16);
+  MemoryPort port;
+  port.addr = eref(ghost, 4);
+  port.read_data = rd;
+  mem.ports.push_back(std::move(port));
+  const int out = m.add_output("out", 8);
+  m.assign(out, eref(rd, 8));
+  const std::string err = strict_error(m);
+  EXPECT_NE(err.find("'ghost'"), std::string::npos) << err;
+  EXPECT_NE(err.find("address of memory 'buf' port 0"), std::string::npos)
+      << err;
+}
+
+TEST(StrictEvalTest, MemoryWriteEnableRead) {
+  Module m("t");
+  const int addr = m.add_input("addr", 4);
+  const int data = m.add_input("data", 8);
+  const int ghost = m.add_wire("ghost", 1);
+  Memory& mem = m.add_memory("buf", 8, 16);
+  MemoryPort port;
+  port.addr = eref(addr, 4);
+  port.write_enable = eref(ghost, 1);
+  port.write_data = eref(data, 8);
+  mem.ports.push_back(std::move(port));
+  const std::string err = strict_error(m);
+  EXPECT_NE(err.find("'ghost'"), std::string::npos) << err;
+  EXPECT_NE(err.find("write enable of memory 'buf' port 0"),
+            std::string::npos)
+      << err;
+}
+
+TEST(StrictEvalTest, MemoryWriteDataRead) {
+  Module m("t");
+  const int addr = m.add_input("addr", 4);
+  const int we = m.add_input("we", 1);
+  const int ghost = m.add_wire("ghost", 8);
+  Memory& mem = m.add_memory("buf", 8, 16);
+  MemoryPort port;
+  port.addr = eref(addr, 4);
+  port.write_enable = eref(we, 1);
+  port.write_data = eref(ghost, 8);
+  mem.ports.push_back(std::move(port));
+  const std::string err = strict_error(m);
+  EXPECT_NE(err.find("'ghost'"), std::string::npos) << err;
+  EXPECT_NE(err.find("write data of memory 'buf' port 0"), std::string::npos)
+      << err;
+}
+
+TEST(StrictEvalTest, DefaultModeStaysLenient) {
+  Module m("t");
+  const int ghost = m.add_wire("ghost", 1);
+  const int a = m.add_input("a", 1);
+  const int out = m.add_output("out", 1);
+  m.assign(out, ebin(RtlOp::Or, eref(a, 1), eref(ghost, 1)));
+  ModuleSim sim(m);  // single-arg constructor: no strict scan
+  sim.set_input("a", 0);
+  sim.settle();
+  EXPECT_EQ(sim.get("out"), 0u);  // the undriven read contributes 0
+}
+
+}  // namespace
+}  // namespace hicsync::rtl
